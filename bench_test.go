@@ -1,0 +1,388 @@
+package cliquesquare
+
+// Benchmarks regenerating the paper's tables and figures (see
+// EXPERIMENTS.md for the mapping and cmd/csq-bench for the printable
+// versions). Custom metrics carry the figure's quantity of interest:
+//
+//	Figure 16  plans/query           BenchmarkFig16PlanSpaces
+//	Figure 17  optimality ratio      (same bench, ho-ratio metric)
+//	Figure 18  optimization time     BenchmarkFig18OptimizationTime
+//	Figure 19  uniqueness ratio      (Fig16 bench, uniq-ratio metric)
+//	Figure 20  plan execution time   BenchmarkFig20PlanExecution
+//	Figure 21  system comparison     BenchmarkFig21Systems
+//	Figure 22  workload cardinality  BenchmarkFig22Workload
+//	Figure 8   decomposition bounds  BenchmarkFig8Bounds
+//	Ablations                        BenchmarkAblation*
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"cliquesquare/internal/binplan"
+	"cliquesquare/internal/core"
+	"cliquesquare/internal/cost"
+	"cliquesquare/internal/experiments"
+	"cliquesquare/internal/lubm"
+	"cliquesquare/internal/partition"
+	"cliquesquare/internal/physical"
+	"cliquesquare/internal/qgen"
+	"cliquesquare/internal/systems"
+	"cliquesquare/internal/systems/csq"
+	"cliquesquare/internal/systems/h2rdfsim"
+	"cliquesquare/internal/systems/shapesim"
+	"cliquesquare/internal/vargraph"
+)
+
+// benchPlanSpaceConfig keeps the 8-variant sweep benchable.
+func benchPlanSpaceConfig() experiments.PlanSpaceConfig {
+	cfg := experiments.DefaultPlanSpaceConfig()
+	cfg.PerShape = 10
+	cfg.MaxPlans = 2000
+	cfg.CoversPerStep = 1000
+	cfg.Timeout = 200 * time.Millisecond
+	return cfg
+}
+
+// BenchmarkFig16PlanSpaces runs the variant × shape sweep of Figures
+// 16, 17 and 19, reporting plans/query, optimality ratio and
+// uniqueness ratio as custom metrics.
+func BenchmarkFig16PlanSpaces(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		cells := experiments.PlanSpaces(benchPlanSpaceConfig())
+		if i == b.N-1 {
+			for _, c := range cells {
+				prefix := c.Method.String() + "/" + c.Shape.String()
+				b.ReportMetric(c.AvgPlans, prefix+":plans")
+				b.ReportMetric(c.OptimalityRatio, prefix+":ho-ratio")
+				b.ReportMetric(c.UniquenessRatio, prefix+":uniq-ratio")
+			}
+		}
+	}
+}
+
+// BenchmarkFig18OptimizationTime times one optimizer pass per variant
+// over a representative 8-pattern query of each shape.
+func BenchmarkFig18OptimizationTime(b *testing.B) {
+	workload := qgen.Workload(2015, 10)
+	for _, m := range vargraph.AllMethods {
+		for _, sh := range qgen.Shapes {
+			q := workload[sh][7] // the 8-pattern query
+			b.Run(fmt.Sprintf("%s/%s", m, sh), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					_, err := core.Optimize(q, core.Options{
+						Method:           m,
+						MaxPlans:         2000,
+						MaxCoversPerStep: 1000,
+						Timeout:          200 * time.Millisecond,
+					})
+					if err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
+
+// lubmFixture caches the Figure 20/21 dataset across benchmarks.
+var lubmFixture = struct {
+	univ int
+	g    *Graph
+}{}
+
+func lubmGraph(univ int) *Graph {
+	if lubmFixture.g == nil || lubmFixture.univ != univ {
+		lubmFixture.univ = univ
+		lubmFixture.g = lubm.Generate(lubm.DefaultConfig(univ))
+	}
+	return lubmFixture.g
+}
+
+// BenchmarkFig20PlanExecution executes, per workload query, the
+// MSC-chosen plan vs the best binary bushy vs the best binary linear
+// plan, reporting simulated seconds (the figure's y-axis) as a metric.
+func BenchmarkFig20PlanExecution(b *testing.B) {
+	g := lubmGraph(6)
+	cfg := csq.DefaultConfig()
+	eng := csq.New(g, cfg)
+	for _, q := range lubm.Queries() {
+		model := cost.NewModel(cfg.Constants, cost.NewStats(g, q))
+		_, mscPP, _, err := eng.Plan(q)
+		if err != nil {
+			b.Fatal(err)
+		}
+		bushy, err := binplan.BestBushy(q, model)
+		if err != nil {
+			b.Fatal(err)
+		}
+		linear, err := binplan.BestLinear(q, model)
+		if err != nil {
+			b.Fatal(err)
+		}
+		bushyPP, err := physical.Compile(bushy)
+		if err != nil {
+			b.Fatal(err)
+		}
+		linearPP, err := physical.Compile(linear)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, variant := range []struct {
+			name string
+			pp   *physical.Plan
+		}{{"msc", mscPP}, {"bushy", bushyPP}, {"linear", linearPP}} {
+			b.Run(q.Name+"/"+variant.name, func(b *testing.B) {
+				var sim float64
+				for i := 0; i < b.N; i++ {
+					r, err := eng.ExecutePlan(variant.pp)
+					if err != nil {
+						b.Fatal(err)
+					}
+					sim = r.Time / 1e6
+				}
+				b.ReportMetric(sim, "sim-seconds")
+			})
+		}
+	}
+}
+
+// BenchmarkFig21Systems runs the 14-query workload under the three
+// systems, reporting simulated seconds per query.
+func BenchmarkFig21Systems(b *testing.B) {
+	g := lubmGraph(6)
+	cs := csq.New(g, csq.DefaultConfig())
+	sh := shapesim.New(g, shapesim.DefaultConfig())
+	h2 := h2rdfsim.New(g, h2rdfsim.DefaultConfig())
+	for _, sys := range []systems.System{cs, sh, h2} {
+		for _, q := range lubm.Queries() {
+			b.Run(sys.Name()+"/"+q.Name, func(b *testing.B) {
+				var sim float64
+				for i := 0; i < b.N; i++ {
+					r, err := sys.Run(q)
+					if err != nil {
+						b.Fatal(err)
+					}
+					sim = r.Time / 1e6
+				}
+				b.ReportMetric(sim, "sim-seconds")
+			})
+		}
+	}
+}
+
+// BenchmarkFig22Workload measures end-to-end evaluation of the whole
+// workload (the Figure 22 cardinality column is printed by
+// cmd/csq-bench -exp=workload).
+func BenchmarkFig22Workload(b *testing.B) {
+	g := lubmGraph(6)
+	eng := csq.New(g, csq.DefaultConfig())
+	qs := lubm.Queries()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, q := range qs {
+			if _, err := eng.Run(q); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// BenchmarkFig8Bounds evaluates the closed-form decomposition bounds.
+func BenchmarkFig8Bounds(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		experiments.Bounds(10)
+	}
+}
+
+// BenchmarkAblationJobInit sweeps the per-job initialization cost to
+// show where the flat-plan advantage comes from: with free job starts
+// the MSC and linear plans converge; with Hadoop-like init the flat
+// plan wins by the job-count gap (a design-choice ablation from
+// DESIGN.md).
+func BenchmarkAblationJobInit(b *testing.B) {
+	g := lubmGraph(6)
+	q, err := lubm.Query("Q12")
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, init := range []float64{0, 1e5, 5e6} {
+		cfg := csq.DefaultConfig()
+		cfg.Constants.JobInit = init
+		eng := csq.New(g, cfg)
+		model := cost.NewModel(cfg.Constants, cost.NewStats(g, q))
+		linear, err := binplan.BestLinear(q, model)
+		if err != nil {
+			b.Fatal(err)
+		}
+		linearPP, err := physical.Compile(linear)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(fmt.Sprintf("init=%.0e", init), func(b *testing.B) {
+			var ratio float64
+			for i := 0; i < b.N; i++ {
+				_, mscPP, _, err := eng.Plan(q)
+				if err != nil {
+					b.Fatal(err)
+				}
+				rm, err := eng.ExecutePlan(mscPP)
+				if err != nil {
+					b.Fatal(err)
+				}
+				rl, err := eng.ExecutePlan(linearPP)
+				if err != nil {
+					b.Fatal(err)
+				}
+				ratio = rl.Time / rm.Time
+			}
+			b.ReportMetric(ratio, "linear/msc-time")
+		})
+	}
+}
+
+// BenchmarkAblationNaryWidth compares optimization cost of maximal
+// (MSC+) vs partial (MSC) clique pools — the plan-space/quality
+// trade-off Section 4.3 discusses.
+func BenchmarkAblationNaryWidth(b *testing.B) {
+	q := qgen.Workload(2015, 10)[qgen.Thin][9]
+	for _, m := range []vargraph.Method{vargraph.MSCPlus, vargraph.MSC} {
+		b.Run(m.String(), func(b *testing.B) {
+			var plans int
+			for i := 0; i < b.N; i++ {
+				res, err := core.Optimize(q, core.Options{Method: m})
+				if err != nil {
+					b.Fatal(err)
+				}
+				plans = len(res.Plans)
+			}
+			b.ReportMetric(float64(plans), "plans")
+		})
+	}
+}
+
+// BenchmarkOptimizeMSCQ1 micro-benchmarks the optimizer on the paper's
+// running example (Figure 1's 11-pattern query).
+func BenchmarkOptimizeMSCQ1(b *testing.B) {
+	q, err := Parse(`SELECT ?a ?b WHERE {
+		?a <p1> ?b . ?a <p2> ?c . ?d <p3> ?a . ?d <p4> ?e .
+		?l <p5> ?d . ?f <p6> ?d . ?f <p7> ?g . ?g <p8> ?h .
+		?g <p9> ?i . ?i <p10> ?j . ?j <p11> "C1" }`)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.Optimize(q, core.Options{Method: vargraph.MSC}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkPartitionLoad measures the Section 5.1 partitioner.
+func BenchmarkPartitionLoad(b *testing.B) {
+	g := lubmGraph(6)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		eng := csq.New(g, csq.DefaultConfig())
+		_ = eng
+	}
+	b.ReportMetric(float64(g.Len()), "triples")
+}
+
+// BenchmarkEndToEnd runs the facade on a small graph (allocation
+// profile of the whole pipeline).
+func BenchmarkEndToEnd(b *testing.B) {
+	g := NewGraph()
+	for i := 0; i < 500; i++ {
+		g.AddSPO(fmt.Sprintf("s%d", i%50), fmt.Sprintf("p%d", i%3), fmt.Sprintf("s%d", (i+1)%50))
+	}
+	eng, err := NewEngine(g, Options{Nodes: 4})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := eng.Query(`SELECT ?a ?c WHERE { ?a <p0> ?b . ?b <p1> ?c . ?c <p2> ?d }`); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblationProjectionPushdown measures the shuffle-volume
+// saving of the Section 4.2 projection push-down rewrite on a chain
+// query (reported as shuffled cells with and without the rewrite).
+func BenchmarkAblationProjectionPushdown(b *testing.B) {
+	g := lubmGraph(6)
+	q, err := lubm.Query("Q12")
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, push := range []bool{false, true} {
+		cfg := csq.DefaultConfig()
+		cfg.NoProjectionPushdown = !push
+		eng := csq.New(g, cfg)
+		name := "without"
+		if push {
+			name = "with"
+		}
+		b.Run(name, func(b *testing.B) {
+			var cells float64
+			for i := 0; i < b.N; i++ {
+				_, pp, _, err := eng.Plan(q)
+				if err != nil {
+					b.Fatal(err)
+				}
+				r, err := eng.ExecutePlan(pp)
+				if err != nil {
+					b.Fatal(err)
+				}
+				cells = 0
+				for _, j := range r.Jobs {
+					cells += float64(j.ShuffledCells)
+				}
+			}
+			b.ReportMetric(cells, "shuffled-cells")
+		})
+	}
+}
+
+// BenchmarkAblationPartitioning compares the paper's three-replica
+// partitioning against single-replica subject-hash partitioning on the
+// workload's o-o join query Q1 (worksFor ⋈ memberOf on the department,
+// both at object position): with one replica the join loses
+// co-location and needs a full shuffle job instead of running
+// map-only.
+func BenchmarkAblationPartitioning(b *testing.B) {
+	g := lubmGraph(6)
+	q, err := lubm.Query("Q1")
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, mode := range []partition.Mode{partition.ThreeReplica, partition.SubjectOnly} {
+		cfg := csq.DefaultConfig()
+		cfg.Partitioning = mode
+		eng := csq.New(g, cfg)
+		b.Run(mode.String(), func(b *testing.B) {
+			var sim, reduceJobs float64
+			for i := 0; i < b.N; i++ {
+				_, pp, _, err := eng.Plan(q)
+				if err != nil {
+					b.Fatal(err)
+				}
+				r, err := eng.ExecutePlan(pp)
+				if err != nil {
+					b.Fatal(err)
+				}
+				sim = r.Time / 1e6
+				reduceJobs = 0
+				for _, j := range r.Jobs {
+					if !j.MapOnly {
+						reduceJobs++
+					}
+				}
+			}
+			b.ReportMetric(sim, "sim-seconds")
+			b.ReportMetric(reduceJobs, "reduce-jobs")
+		})
+	}
+}

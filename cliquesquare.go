@@ -1,0 +1,195 @@
+// Package cliquesquare is the public facade of the CliqueSquare
+// reproduction: flat, n-ary-join query plans for massively parallel RDF
+// query evaluation (Goasdoué et al., ICDE 2015), with a simulated
+// MapReduce runtime.
+//
+// Typical use:
+//
+//	g := cliquesquare.NewGraph()
+//	g.AddSPO("alice", "knows", "bob")
+//	eng, _ := cliquesquare.NewEngine(g, cliquesquare.Options{})
+//	res, _ := eng.Query(`SELECT ?a ?b WHERE { ?a <knows> ?b }`)
+//	for _, row := range res.Rows { fmt.Println(row) }
+//
+// The facade wraps the full pipeline: three-replica data partitioning
+// (Section 5.1 of the paper), the CliqueSquare logical optimizer with a
+// selectable decomposition variant (Sections 3-4), cost-based plan
+// selection (Section 5.4) and MapReduce execution (Sections 5.2-5.3).
+package cliquesquare
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"time"
+
+	"cliquesquare/internal/core"
+	"cliquesquare/internal/mapreduce"
+	"cliquesquare/internal/physical"
+	"cliquesquare/internal/rdf"
+	"cliquesquare/internal/sparql"
+	"cliquesquare/internal/systems/csq"
+	"cliquesquare/internal/vargraph"
+)
+
+// Graph is an in-memory RDF dataset (re-exported from the rdf package).
+type Graph = rdf.Graph
+
+// Query is a parsed BGP query (re-exported from the sparql package).
+type Query = sparql.Query
+
+// NewGraph returns an empty RDF graph.
+func NewGraph() *Graph { return rdf.NewGraph() }
+
+// LoadNTriples parses a simplified N-Triples document into a new graph.
+func LoadNTriples(r io.Reader) (*Graph, int, error) {
+	g := rdf.NewGraph()
+	n, err := rdf.ReadNTriples(g, r)
+	return g, n, err
+}
+
+// Parse parses a BGP SPARQL query (SELECT + WHERE with triple
+// patterns; PREFIX declarations and the keyword "a" supported).
+func Parse(src string) (*Query, error) { return sparql.Parse(src) }
+
+// Options configures an Engine.
+type Options struct {
+	// Nodes is the simulated cluster size; 0 means 7 (the paper's).
+	Nodes int
+	// Method names the optimizer variant ("MSC", "MSC+", "SC", ...);
+	// empty means MSC, the paper's recommendation.
+	Method string
+	// Timeout bounds optimization; 0 means 100s (the paper's cap).
+	Timeout time.Duration
+}
+
+// Engine evaluates queries over a partitioned dataset.
+type Engine struct {
+	inner *csq.Engine
+	dict  *rdf.Dict
+}
+
+// NewEngine partitions g over a simulated cluster and returns an
+// engine ready to answer queries.
+func NewEngine(g *Graph, opts Options) (*Engine, error) {
+	cfg := csq.DefaultConfig()
+	if opts.Nodes > 0 {
+		cfg.Nodes = opts.Nodes
+	}
+	if opts.Method != "" {
+		m, err := vargraph.ParseMethod(opts.Method)
+		if err != nil {
+			return nil, err
+		}
+		cfg.Method = m
+	}
+	if opts.Timeout > 0 {
+		cfg.Timeout = opts.Timeout
+	}
+	return &Engine{inner: csq.New(g, cfg), dict: g.Dict}, nil
+}
+
+// Result is a decoded query answer plus execution statistics.
+type Result struct {
+	// Vars are the output column names (the SELECT variables).
+	Vars []string
+	// Rows are the distinct result tuples, decoded to N-Triples term
+	// syntax, sorted deterministically.
+	Rows [][]string
+	// Jobs is the number of MapReduce jobs run; MapOnly reports
+	// whether all of them were map-only (a PWOC plan).
+	Jobs    int
+	MapOnly bool
+	// SimulatedTime is the simulated response time.
+	SimulatedTime time.Duration
+	// PlanHeight is the executed plan's height (max joins on a
+	// root-to-leaf path) and PlansExplored the optimizer's plan count.
+	PlanHeight    int
+	PlansExplored int
+}
+
+// Query parses and evaluates src, returning decoded results.
+func (e *Engine) Query(src string) (*Result, error) {
+	q, err := sparql.Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	return e.Run(q)
+}
+
+// Run evaluates an already-parsed query.
+func (e *Engine) Run(q *Query) (*Result, error) {
+	plan, pp, ores, err := e.inner.Plan(q)
+	if err != nil {
+		return nil, err
+	}
+	r, err := e.inner.ExecutePlan(pp)
+	if err != nil {
+		return nil, err
+	}
+	out := &Result{
+		Vars:          r.Schema,
+		Jobs:          len(r.Jobs),
+		MapOnly:       pp.MapOnly(),
+		SimulatedTime: time.Duration(r.Time) * time.Microsecond,
+		PlanHeight:    plan.Height(),
+		PlansExplored: len(ores.Plans),
+	}
+	for _, row := range r.Rows {
+		dec := make([]string, len(row))
+		for i, id := range row {
+			dec[i] = e.dict.Term(id).String()
+		}
+		out.Rows = append(out.Rows, dec)
+	}
+	return out, nil
+}
+
+// Explain returns a human-readable description of the plan chosen for
+// src: the logical operator tree and the MapReduce job layout.
+func (e *Engine) Explain(src string) (string, error) {
+	q, err := sparql.Parse(src)
+	if err != nil {
+		return "", err
+	}
+	plan, pp, ores, err := e.inner.Plan(q)
+	if err != nil {
+		return "", err
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "query: %s\nplans explored: %d (unique %d), chosen height %d\n\nlogical plan:\n%s\njobs (%s):\n%s",
+		q, len(ores.Plans), len(ores.Unique), plan.Height(), plan, pp.JobLabel(), pp.Describe())
+	return b.String(), nil
+}
+
+// Plans enumerates the logical plans a variant builds for src,
+// returning their heights and canonical signatures (for plan-space
+// exploration, mirroring Section 6.2).
+func (e *Engine) Plans(src, method string) (heights []int, signatures []string, err error) {
+	q, err := sparql.Parse(src)
+	if err != nil {
+		return nil, nil, err
+	}
+	m := vargraph.MSC
+	if method != "" {
+		if m, err = vargraph.ParseMethod(method); err != nil {
+			return nil, nil, err
+		}
+	}
+	res, err := core.Optimize(q, core.Options{Method: m, MaxPlans: 20000, Timeout: 30 * time.Second})
+	if err != nil {
+		return nil, nil, err
+	}
+	for _, p := range res.Unique {
+		heights = append(heights, p.Height())
+		signatures = append(signatures, p.Signature())
+	}
+	return heights, signatures, nil
+}
+
+// Compile exposes the physical compilation of a logical plan for
+// advanced inspection.
+func Compile(p *core.Plan) (*physical.Plan, error) { return physical.Compile(p) }
+
+// DefaultConstants returns the simulator's cost constants.
+func DefaultConstants() mapreduce.Constants { return mapreduce.DefaultConstants() }

@@ -1,0 +1,116 @@
+package cliquesquare
+
+import (
+	"strings"
+	"testing"
+)
+
+func socialGraph() *Graph {
+	g := NewGraph()
+	g.AddSPO("alice", "knows", "bob")
+	g.AddSPO("bob", "knows", "carol")
+	g.AddSPO("carol", "knows", "dave")
+	g.AddSPO("alice", "livesIn", "paris")
+	g.AddSPO("bob", "livesIn", "paris")
+	g.AddSPOLit("alice", "name", "Alice")
+	return g
+}
+
+func TestEngineQuery(t *testing.T) {
+	eng, err := NewEngine(socialGraph(), Options{Nodes: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := eng.Query(`SELECT ?a ?c WHERE { ?a <knows> ?b . ?b <knows> ?c }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 2 {
+		t.Fatalf("got %d rows, want 2: %v", len(res.Rows), res.Rows)
+	}
+	if res.Rows[0][0] != "<alice>" || res.Rows[0][1] != "<carol>" {
+		t.Errorf("first row = %v", res.Rows[0])
+	}
+	if !res.MapOnly || res.Jobs != 1 {
+		t.Errorf("2-pattern query: jobs=%d mapOnly=%v, want 1, true", res.Jobs, res.MapOnly)
+	}
+	if res.SimulatedTime <= 0 || res.PlanHeight != 1 || res.PlansExplored == 0 {
+		t.Errorf("stats = %+v", res)
+	}
+}
+
+func TestEngineLiteralResults(t *testing.T) {
+	eng, _ := NewEngine(socialGraph(), Options{Nodes: 2})
+	res, err := eng.Query(`SELECT ?n WHERE { ?a <name> ?n . ?a <livesIn> <paris> }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 1 || res.Rows[0][0] != `"Alice"` {
+		t.Errorf("rows = %v", res.Rows)
+	}
+}
+
+func TestEngineMethodOption(t *testing.T) {
+	for _, m := range []string{"MSC", "MSC+", "SC+"} {
+		eng, err := NewEngine(socialGraph(), Options{Nodes: 2, Method: m})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := eng.Query(`SELECT ?a WHERE { ?a <knows> ?b . ?b <knows> ?c }`); err != nil {
+			t.Errorf("method %s: %v", m, err)
+		}
+	}
+	if _, err := NewEngine(socialGraph(), Options{Method: "nope"}); err == nil {
+		t.Error("bogus method accepted")
+	}
+}
+
+func TestEngineBadQuery(t *testing.T) {
+	eng, _ := NewEngine(socialGraph(), Options{})
+	if _, err := eng.Query(`SELECT nonsense`); err == nil {
+		t.Error("bad query accepted")
+	}
+	if _, err := eng.Explain(`garbage`); err == nil {
+		t.Error("Explain accepted garbage")
+	}
+}
+
+func TestExplain(t *testing.T) {
+	eng, _ := NewEngine(socialGraph(), Options{Nodes: 3})
+	s, err := eng.Explain(`SELECT ?a ?d WHERE { ?a <knows> ?b . ?b <knows> ?c . ?c <knows> ?d }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"logical plan:", "jobs (", "J_"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("explain output missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestPlansEnumeration(t *testing.T) {
+	eng, _ := NewEngine(socialGraph(), Options{})
+	hs, sigs, err := eng.Plans(`SELECT ?a WHERE { ?a <knows> ?b . ?b <knows> ?c . ?c <knows> ?d }`, "SC")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(hs) != len(sigs) || len(hs) < 2 {
+		t.Fatalf("heights=%v sigs=%d", hs, len(sigs))
+	}
+	if _, _, err := eng.Plans(`SELECT ?a WHERE { ?a <p> ?b }`, "bad"); err == nil {
+		t.Error("bad method accepted")
+	}
+}
+
+func TestLoadNTriples(t *testing.T) {
+	src := "<a> <p> <b> .\n<b> <p> <c> .\n"
+	g, n, err := LoadNTriples(strings.NewReader(src))
+	if err != nil || n != 2 {
+		t.Fatalf("n=%d err=%v", n, err)
+	}
+	eng, _ := NewEngine(g, Options{Nodes: 2})
+	res, err := eng.Query(`SELECT ?x WHERE { <a> <p> ?x }`)
+	if err != nil || len(res.Rows) != 1 {
+		t.Fatalf("res=%v err=%v", res, err)
+	}
+}

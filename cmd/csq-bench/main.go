@@ -1,0 +1,187 @@
+// Command csq-bench regenerates the paper's evaluation tables and
+// figures (Section 6) and prints them in the paper's layout.
+//
+// Usage:
+//
+//	csq-bench -exp=planspace   # Figures 16-19 (variant comparison)
+//	csq-bench -exp=plans       # Figure 20 (MSC vs bushy vs linear)
+//	csq-bench -exp=systems     # Figure 21 (CSQ vs SHAPE vs H2RDF+)
+//	csq-bench -exp=workload    # Figure 22 (query characteristics)
+//	csq-bench -exp=bounds      # Figure 8  (decomposition bounds)
+//	csq-bench -exp=all
+//
+// Flags tune the scale (-univ), cluster size (-nodes), the synthetic
+// workload size (-pershape) and the optimizer budgets.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"text/tabwriter"
+	"time"
+
+	"cliquesquare/internal/experiments"
+	"cliquesquare/internal/qgen"
+	"cliquesquare/internal/vargraph"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment: planspace|plans|systems|workload|bounds|all")
+	univ := flag.Int("univ", 100, "LUBM scale (universities) for execution experiments")
+	nodes := flag.Int("nodes", 7, "simulated cluster nodes")
+	perShape := flag.Int("pershape", 30, "synthetic queries per shape (paper: 30)")
+	maxPlans := flag.Int("maxplans", 5000, "plan budget per optimizer run")
+	timeout := flag.Duration("timeout", 500*time.Millisecond, "optimizer timeout per query")
+	flag.Parse()
+
+	cc := experiments.DefaultClusterConfig()
+	cc.Universities = *univ
+	cc.Nodes = *nodes
+
+	run := func(name string, f func() error) {
+		if *exp != "all" && *exp != name {
+			return
+		}
+		if err := f(); err != nil {
+			fmt.Fprintf(os.Stderr, "csq-bench: %s: %v\n", name, err)
+			os.Exit(1)
+		}
+	}
+	run("bounds", func() error { return bounds() })
+	run("planspace", func() error { return planSpaces(*perShape, *maxPlans, *timeout) })
+	run("workload", func() error { return workload(cc) })
+	run("plans", func() error { return plans(cc) })
+	run("systems", func() error { return systemsCmp(cc) })
+}
+
+func tw() *tabwriter.Writer {
+	return tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+}
+
+func bounds() error {
+	fmt.Println("== Figure 8: worst-case decomposition-count bounds D(n) ==")
+	w := tw()
+	fmt.Fprint(w, "n")
+	for _, m := range vargraph.AllMethods {
+		fmt.Fprintf(w, "\t%s", m)
+	}
+	fmt.Fprintln(w)
+	for _, row := range experiments.Bounds(10) {
+		fmt.Fprintf(w, "%d", row.N)
+		for _, m := range vargraph.AllMethods {
+			fmt.Fprintf(w, "\t%s", row.Bounds[m])
+		}
+		fmt.Fprintln(w)
+	}
+	fmt.Fprintln(w)
+	return w.Flush()
+}
+
+func planSpaces(perShape, maxPlans int, timeout time.Duration) error {
+	cfg := experiments.DefaultPlanSpaceConfig()
+	cfg.PerShape = perShape
+	cfg.MaxPlans = maxPlans
+	cfg.Timeout = timeout
+	cells := experiments.PlanSpaces(cfg)
+	byKey := make(map[string]experiments.PlanSpaceCell)
+	for _, c := range cells {
+		byKey[c.Method.String()+"/"+c.Shape.String()] = c
+	}
+	print := func(title string, get func(experiments.PlanSpaceCell) string) error {
+		fmt.Println(title)
+		w := tw()
+		fmt.Fprint(w, "Option")
+		for _, sh := range qgen.Shapes {
+			fmt.Fprintf(w, "\t%s", sh)
+		}
+		fmt.Fprintln(w)
+		for _, m := range vargraph.AllMethods {
+			fmt.Fprintf(w, "%s", m)
+			for _, sh := range qgen.Shapes {
+				fmt.Fprintf(w, "\t%s", get(byKey[m.String()+"/"+sh.String()]))
+			}
+			fmt.Fprintln(w)
+		}
+		fmt.Fprintln(w)
+		return w.Flush()
+	}
+	if err := print("== Figure 16: average number of plans per algorithm and query shape ==",
+		func(c experiments.PlanSpaceCell) string { return fmt.Sprintf("%.1f", c.AvgPlans) }); err != nil {
+		return err
+	}
+	if err := print("== Figure 17: average optimality ratio ==",
+		func(c experiments.PlanSpaceCell) string { return fmt.Sprintf("%.1f%%", 100*c.OptimalityRatio) }); err != nil {
+		return err
+	}
+	if err := print("== Figure 18: average optimization time (ms) ==",
+		func(c experiments.PlanSpaceCell) string { return fmt.Sprintf("%.2f", c.AvgTimeMS) }); err != nil {
+		return err
+	}
+	return print("== Figure 19: average uniqueness ratio ==",
+		func(c experiments.PlanSpaceCell) string { return fmt.Sprintf("%.2f%%", 100*c.UniquenessRatio) })
+}
+
+func workload(cc experiments.ClusterConfig) error {
+	rows, err := experiments.WorkloadCharacteristics(cc)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("== Figure 22: workload characteristics (LUBM, %d universities) ==\n", cc.Universities)
+	w := tw()
+	fmt.Fprintln(w, "Query\t#tps\t#jv\t|Q|")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%s\t%d\t%d\t%d\n", r.Query, r.TPs, r.JVs, r.Card)
+	}
+	fmt.Fprintln(w)
+	return w.Flush()
+}
+
+func plans(cc experiments.ClusterConfig) error {
+	rows, err := experiments.PlanComparison(cc)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("== Figure 20: plan execution time, MSC vs binary plans (LUBM, %d universities, %d nodes) ==\n",
+		cc.Universities, cc.Nodes)
+	w := tw()
+	fmt.Fprintln(w, "Query\tMSC-Best (s)\tBest Bushy (s)\tBest Linear (s)\t|Q|")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%s\t%.2f\t%.2f\t%.2f\t%d\n",
+			r.Annotation(), r.TimeSec[0], r.TimeSec[1], r.TimeSec[2], r.Rows)
+	}
+	fmt.Fprintln(w)
+	return w.Flush()
+}
+
+func systemsCmp(cc experiments.ClusterConfig) error {
+	rows, err := experiments.SystemComparison(cc)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("== Figure 21: CSQ vs SHAPE-2f vs H2RDF+ (LUBM, %d universities, %d nodes) ==\n",
+		cc.Universities, cc.Nodes)
+	w := tw()
+	fmt.Fprintln(w, "Query\tclass\tCSQ (s)\tSHAPE-2f (s)\tH2RDF+ (s)\t|Q|")
+	var totals [3]float64
+	// Selective queries first, as in the figure.
+	for _, sel := range []bool{true, false} {
+		for _, r := range rows {
+			if r.Selective != sel {
+				continue
+			}
+			class := "non-sel"
+			if sel {
+				class = "sel"
+			}
+			fmt.Fprintf(w, "%s\t%s\t%.2f\t%.2f\t%.2f\t%d\n",
+				r.Annotation(), class, r.TimeSec[0], r.TimeSec[1], r.TimeSec[2], r.Rows)
+			for i := range totals {
+				totals[i] += r.TimeSec[i]
+			}
+		}
+	}
+	fmt.Fprintf(w, "TOTAL\t\t%.2f\t%.2f\t%.2f\t\n", totals[0], totals[1], totals[2])
+	fmt.Fprintln(w)
+	return w.Flush()
+}

@@ -1,0 +1,93 @@
+// Command csq loads an N-Triples file into a simulated CliqueSquare
+// cluster, evaluates one BGP SPARQL query and prints the results plus
+// the MapReduce job trace.
+//
+// Usage:
+//
+//	csq -data graph.nt -query 'SELECT ?a ?b WHERE { ?a <knows> ?b }'
+//	csq -data graph.nt -queryfile q.sparql -nodes 7 -method MSC
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"cliquesquare"
+)
+
+func main() {
+	data := flag.String("data", "", "N-Triples input file (required)")
+	query := flag.String("query", "", "BGP SPARQL query text")
+	queryFile := flag.String("queryfile", "", "file containing the query")
+	nodes := flag.Int("nodes", 7, "simulated cluster nodes")
+	method := flag.String("method", "MSC", "optimizer variant (MSC, MSC+, SC, ...)")
+	explain := flag.Bool("explain", false, "print the plan instead of executing")
+	maxRows := flag.Int("maxrows", 20, "result rows to print (0 = all)")
+	flag.Parse()
+
+	if err := run(*data, *query, *queryFile, *nodes, *method, *explain, *maxRows); err != nil {
+		fmt.Fprintln(os.Stderr, "csq:", err)
+		os.Exit(1)
+	}
+}
+
+func run(data, query, queryFile string, nodes int, method string, explain bool, maxRows int) error {
+	if data == "" {
+		return fmt.Errorf("-data is required")
+	}
+	if queryFile != "" {
+		b, err := os.ReadFile(queryFile)
+		if err != nil {
+			return err
+		}
+		query = string(b)
+	}
+	if query == "" {
+		return fmt.Errorf("provide -query or -queryfile")
+	}
+	f, err := os.Open(data)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	g, n, err := cliquesquare.LoadNTriples(f)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("loaded %d triples (%d distinct) onto %d nodes\n", n, g.Len(), nodes)
+
+	eng, err := cliquesquare.NewEngine(g, cliquesquare.Options{Nodes: nodes, Method: method})
+	if err != nil {
+		return err
+	}
+	if explain {
+		s, err := eng.Explain(query)
+		if err != nil {
+			return err
+		}
+		fmt.Print(s)
+		return nil
+	}
+	res, err := eng.Query(query)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%d rows, %d job(s) (map-only: %v), simulated time %v, plan height %d, %d plans explored\n",
+		len(res.Rows), res.Jobs, res.MapOnly, res.SimulatedTime, res.PlanHeight, res.PlansExplored)
+	for _, v := range res.Vars {
+		fmt.Printf("?%s\t", v)
+	}
+	fmt.Println()
+	for i, row := range res.Rows {
+		if maxRows > 0 && i >= maxRows {
+			fmt.Printf("... (%d more)\n", len(res.Rows)-maxRows)
+			break
+		}
+		for _, c := range row {
+			fmt.Printf("%s\t", c)
+		}
+		fmt.Println()
+	}
+	return nil
+}

@@ -1,0 +1,50 @@
+// Quickstart: build a tiny RDF graph, run a BGP query through the full
+// CliqueSquare pipeline (partitioning → flat-plan optimization →
+// simulated MapReduce execution) and print results and statistics.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"cliquesquare"
+)
+
+func main() {
+	g := cliquesquare.NewGraph()
+	g.AddSPO("alice", "knows", "bob")
+	g.AddSPO("bob", "knows", "carol")
+	g.AddSPO("carol", "knows", "dave")
+	g.AddSPO("alice", "livesIn", "paris")
+	g.AddSPO("carol", "livesIn", "paris")
+	g.AddSPOLit("alice", "name", "Alice")
+	g.AddSPOLit("carol", "name", "Carol")
+
+	eng, err := cliquesquare.NewEngine(g, cliquesquare.Options{Nodes: 4})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	const q = `SELECT ?an ?cn WHERE {
+		?a <knows> ?b . ?b <knows> ?c .
+		?a <livesIn> ?city . ?c <livesIn> ?city .
+		?a <name> ?an . ?c <name> ?cn }`
+
+	fmt.Println("== plan ==")
+	explain, err := eng.Explain(q)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(explain)
+
+	fmt.Println("== results ==")
+	res, err := eng.Query(q)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, row := range res.Rows {
+		fmt.Printf("%s knows-of-knows %s\n", row[0], row[1])
+	}
+	fmt.Printf("\n%d row(s); %d MapReduce job(s); plan height %d; simulated time %v\n",
+		len(res.Rows), res.Jobs, res.PlanHeight, res.SimulatedTime)
+}

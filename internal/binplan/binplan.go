@@ -1,0 +1,178 @@
+// Package binplan builds the binary-join baseline plans of Section 6.3:
+// the best binary bushy plan and the best binary linear (left-deep)
+// plan for a query, chosen by dynamic programming over connected
+// pattern subsets under the Section 5.4 cost model. These are the plan
+// shapes produced by prior systems the paper compares against; they
+// run on the same physical runtime as CliqueSquare's n-ary plans.
+package binplan
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+
+	"cliquesquare/internal/core"
+	"cliquesquare/internal/cost"
+	"cliquesquare/internal/sparql"
+)
+
+// maxPatterns bounds the subset DP (2^n states).
+const maxPatterns = 20
+
+type entry struct {
+	op *core.Op
+	c  float64
+}
+
+// BestBushy returns the cheapest binary bushy plan for q under m.
+// Every join has exactly two inputs; any connected split is allowed.
+func BestBushy(q *sparql.Query, m *cost.Model) (*core.Plan, error) {
+	return best(q, m, false)
+}
+
+// BestLinear returns the cheapest binary linear (left-deep) plan: every
+// join's right input is a single triple pattern.
+func BestLinear(q *sparql.Query, m *cost.Model) (*core.Plan, error) {
+	return best(q, m, true)
+}
+
+func best(q *sparql.Query, m *cost.Model, linear bool) (*core.Plan, error) {
+	n := len(q.Patterns)
+	if n == 0 {
+		return nil, fmt.Errorf("binplan: query has no patterns")
+	}
+	if n > maxPatterns {
+		return nil, fmt.Errorf("binplan: %d patterns exceed the %d-pattern DP limit", n, maxPatterns)
+	}
+	d := &dp{q: q, m: m, tbl: make([]entry, 1<<uint(n)), card: make([]float64, 1<<uint(n))}
+	for i := range d.tbl {
+		d.tbl[i].c = math.Inf(1)
+	}
+	for i := 0; i < n; i++ {
+		mask := 1 << uint(i)
+		c := m.S.PatternCard(i) * m.C.Read
+		d.tbl[mask] = entry{op: core.NewMatch(q, i), c: c}
+		d.card[mask] = m.S.PatternCard(i)
+	}
+	full := (1 << uint(n)) - 1
+	for mask := 1; mask <= full; mask++ {
+		if bits.OnesCount(uint(mask)) < 2 {
+			continue
+		}
+		if linear {
+			d.buildLinear(mask)
+		} else {
+			d.buildBushy(mask)
+		}
+	}
+	if math.IsInf(d.tbl[full].c, 1) {
+		return nil, fmt.Errorf("binplan: no connected binary plan (cartesian query?)")
+	}
+	return core.NewPlan(q, d.tbl[full].op), nil
+}
+
+type dp struct {
+	q    *sparql.Query
+	m    *cost.Model
+	tbl  []entry
+	card []float64
+}
+
+func (d *dp) cardOf(mask int) float64 {
+	if d.card[mask] == 0 && mask != 0 {
+		d.card[mask] = d.m.S.JoinCard(patternsOf(mask))
+	}
+	return d.card[mask]
+}
+
+func (d *dp) buildBushy(mask int) {
+	// Enumerate unordered splits: iterate proper submasks, keeping the
+	// half containing the lowest set bit on the left to halve the work.
+	low := mask & -mask
+	for sub := (mask - 1) & mask; sub > 0; sub = (sub - 1) & mask {
+		if sub&low == 0 {
+			continue
+		}
+		d.try(mask, sub, mask^sub)
+	}
+}
+
+func (d *dp) buildLinear(mask int) {
+	for rest := mask; rest != 0; {
+		bit := rest & -rest
+		rest ^= bit
+		d.try(mask, mask^bit, bit)
+	}
+}
+
+// try considers joining the best plans of left and right into mask.
+func (d *dp) try(mask, left, right int) {
+	le, re := d.tbl[left], d.tbl[right]
+	if math.IsInf(le.c, 1) || math.IsInf(re.c, 1) {
+		return
+	}
+	join, err := core.NewJoinOp([]*core.Op{le.op, re.op})
+	if err != nil {
+		return // no shared attribute: would be a cartesian product
+	}
+	c := le.c + re.c + d.joinCost(le.op, re.op, mask)
+	if c < d.tbl[mask].c {
+		d.tbl[mask] = entry{op: join, c: c}
+	}
+}
+
+// joinCost prices one binary join per Section 5.4: a join of two
+// matches is a co-located map join; any other join is a reduce join
+// with shuffle, a per-job charge, and map-shuffler costs for inputs
+// that are themselves reduce joins.
+func (d *dp) joinCost(l, r *core.Op, mask int) float64 {
+	cm := d.m.C
+	in := d.cardOf(maskOf(l)) + d.cardOf(maskOf(r))
+	out := d.cardOf(mask)
+	if l.Kind == core.OpMatch && r.Kind == core.OpMatch {
+		return cm.Join*(in+out) + out*cm.Write
+	}
+	c := in*cm.Shuffle + cm.Join*(in+out) + out*cm.Write + cm.JobInit
+	for _, side := range []*core.Op{l, r} {
+		if isReduceJoin(side) {
+			c += d.cardOf(maskOf(side)) * (cm.Read + cm.Write)
+		}
+	}
+	return c
+}
+
+// isReduceJoin reports whether op is a join that would run reduce-side
+// (any join whose inputs are not both matches).
+func isReduceJoin(op *core.Op) bool {
+	if op.Kind != core.OpJoin {
+		return false
+	}
+	for _, c := range op.Children {
+		if c.Kind != core.OpMatch {
+			return true
+		}
+	}
+	return false
+}
+
+// maskOf recovers the pattern bitmask covered by an operator subtree.
+func maskOf(op *core.Op) int {
+	if op.Kind == core.OpMatch {
+		return 1 << uint(op.Pattern)
+	}
+	m := 0
+	for _, c := range op.Children {
+		m |= maskOf(c)
+	}
+	return m
+}
+
+func patternsOf(mask int) []int {
+	var out []int
+	for i := 0; mask != 0; i, mask = i+1, mask>>1 {
+		if mask&1 != 0 {
+			out = append(out, i)
+		}
+	}
+	return out
+}

@@ -1,0 +1,117 @@
+package core
+
+import (
+	"math/big"
+
+	"cliquesquare/internal/vargraph"
+)
+
+// DecompositionBound returns the Figure 8 worst-case upper bound on the
+// number of decompositions D(n) a single CLIQUEDECOMPOSITIONS call may
+// produce for a variable graph of n nodes under the given method:
+//
+//	MXC+  C(n+1, ⌈n/2⌉)            XC+  Σ_{k=1}^{n-1} C(n+1, k)
+//	MSC+  C(2n+1, ⌈n/2⌉)           SC+  Σ_{k=1}^{n-1} C(2n+1, k)
+//	MXC   S(n, ⌈n/2⌉)              XC   Σ_{k=0}^{n-1} S(n, k)
+//	MSC   C(2ⁿ-1, ⌈n/2⌉)           SC   Σ_{k=1}^{n-1} C(2ⁿ-1, k)
+//
+// where C is the binomial coefficient and S the Stirling partition
+// number of the second kind. Values grow quickly, hence *big.Int.
+func DecompositionBound(m vargraph.Method, n int) *big.Int {
+	if n < 1 {
+		return big.NewInt(0)
+	}
+	half := int64((n + 1) / 2) // ⌈n/2⌉
+	nn := int64(n)
+	switch m {
+	case vargraph.MXCPlus:
+		return binom(nn+1, half)
+	case vargraph.MSCPlus:
+		return binom(2*nn+1, half)
+	case vargraph.MXC:
+		return stirling2(n, int((nn+1)/2))
+	case vargraph.MSC:
+		return binomBig(pow2m1(n), half)
+	case vargraph.XCPlus:
+		return sumBinom(big.NewInt(nn+1), 1, n-1)
+	case vargraph.SCPlus:
+		return sumBinom(big.NewInt(2*nn+1), 1, n-1)
+	case vargraph.XC:
+		sum := big.NewInt(0)
+		for k := 0; k <= n-1; k++ {
+			sum.Add(sum, stirling2(n, k))
+		}
+		return sum
+	case vargraph.SC:
+		return sumBinom(pow2m1(n), 1, n-1)
+	}
+	return big.NewInt(0)
+}
+
+// pow2m1 returns 2^n - 1.
+func pow2m1(n int) *big.Int {
+	v := new(big.Int).Lsh(big.NewInt(1), uint(n))
+	return v.Sub(v, big.NewInt(1))
+}
+
+// binom returns C(n, k) for small integer arguments.
+func binom(n, k int64) *big.Int {
+	return new(big.Int).Binomial(n, k)
+}
+
+// binomBig returns C(n, k) for big n and small k.
+func binomBig(n *big.Int, k int64) *big.Int {
+	if k < 0 || n.Sign() < 0 || n.Cmp(big.NewInt(k)) < 0 {
+		return big.NewInt(0)
+	}
+	num := big.NewInt(1)
+	den := big.NewInt(1)
+	for i := int64(0); i < k; i++ {
+		t := new(big.Int).Sub(n, big.NewInt(i))
+		num.Mul(num, t)
+		den.Mul(den, big.NewInt(i+1))
+	}
+	return num.Div(num, den)
+}
+
+// sumBinom returns Σ_{k=lo}^{hi} C(n, k).
+func sumBinom(n *big.Int, lo, hi int) *big.Int {
+	sum := big.NewInt(0)
+	for k := lo; k <= hi; k++ {
+		sum.Add(sum, binomBig(n, int64(k)))
+	}
+	return sum
+}
+
+// stirling2 returns the Stirling partition number of the second kind
+// S(n, k): the number of ways to partition n objects into k non-empty
+// subsets.
+func stirling2(n, k int) *big.Int {
+	if k < 0 || k > n {
+		return big.NewInt(0)
+	}
+	if n == 0 && k == 0 {
+		return big.NewInt(1)
+	}
+	if k == 0 {
+		return big.NewInt(0)
+	}
+	// S(n,k) = k*S(n-1,k) + S(n-1,k-1), built bottom-up.
+	prev := make([]*big.Int, n+1)
+	cur := make([]*big.Int, n+1)
+	for i := range prev {
+		prev[i] = big.NewInt(0)
+		cur[i] = big.NewInt(0)
+	}
+	prev[0] = big.NewInt(1) // S(0,0)=1
+	for i := 1; i <= n; i++ {
+		cur[0] = big.NewInt(0)
+		for j := 1; j <= i && j <= k; j++ {
+			v := new(big.Int).Mul(big.NewInt(int64(j)), prev[j])
+			v.Add(v, prev[j-1])
+			cur[j] = v
+		}
+		copy(prev, cur)
+	}
+	return prev[k]
+}

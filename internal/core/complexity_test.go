@@ -1,0 +1,74 @@
+package core
+
+import (
+	"math/big"
+	"testing"
+
+	"cliquesquare/internal/vargraph"
+)
+
+func TestStirling2(t *testing.T) {
+	for _, tc := range []struct {
+		n, k int
+		want int64
+	}{
+		{0, 0, 1}, {1, 1, 1}, {3, 2, 3}, {4, 2, 7}, {5, 3, 25},
+		{6, 3, 90}, {3, 0, 0}, {2, 5, 0},
+	} {
+		if got := stirling2(tc.n, tc.k); got.Cmp(big.NewInt(tc.want)) != 0 {
+			t.Errorf("S(%d,%d) = %v, want %d", tc.n, tc.k, got, tc.want)
+		}
+	}
+}
+
+func TestBinomBig(t *testing.T) {
+	if got := binomBig(big.NewInt(7), 2); got.Cmp(big.NewInt(21)) != 0 {
+		t.Errorf("C(7,2) = %v, want 21", got)
+	}
+	if got := binomBig(big.NewInt(3), 5); got.Sign() != 0 {
+		t.Errorf("C(3,5) = %v, want 0", got)
+	}
+}
+
+func TestDecompositionBoundFormulas(t *testing.T) {
+	// Spot-check Figure 8 for n = 3: ⌈n/2⌉ = 2.
+	for _, tc := range []struct {
+		m    vargraph.Method
+		want int64
+	}{
+		{vargraph.MXCPlus, 6},  // C(4,2)
+		{vargraph.MSCPlus, 21}, // C(7,2)
+		{vargraph.MXC, 3},      // S(3,2)
+		{vargraph.MSC, 21},     // C(2^3-1, 2)
+		{vargraph.XCPlus, 10},  // C(4,1)+C(4,2) = 4+6
+		{vargraph.SCPlus, 28},  // C(7,1)+C(7,2)
+		{vargraph.XC, 4},       // S(3,0)+S(3,1)+S(3,2)
+		{vargraph.SC, 28},      // C(7,1)+C(7,2)
+	} {
+		if got := DecompositionBound(tc.m, 3); got.Cmp(big.NewInt(tc.want)) != 0 {
+			t.Errorf("D_%v(3) = %v, want %d", tc.m, got, tc.want)
+		}
+	}
+	if DecompositionBound(vargraph.MSC, 0).Sign() != 0 {
+		t.Error("bound for n=0 should be 0")
+	}
+}
+
+func TestDecompositionBoundsOrdering(t *testing.T) {
+	// For every n, the all-covers variant must dominate the
+	// minimum-cover variant with the same clique pool, and partial
+	// pools dominate maximal pools for SC variants.
+	for n := 2; n <= 10; n++ {
+		if DecompositionBound(vargraph.SC, n).Cmp(DecompositionBound(vargraph.MSC, n)) < 0 {
+			t.Errorf("n=%d: bound(SC) < bound(MSC)", n)
+		}
+		if DecompositionBound(vargraph.SCPlus, n).Cmp(DecompositionBound(vargraph.MSCPlus, n)) < 0 {
+			t.Errorf("n=%d: bound(SC+) < bound(MSC+)", n)
+		}
+		if n >= 4 {
+			if DecompositionBound(vargraph.SC, n).Cmp(DecompositionBound(vargraph.SCPlus, n)) < 0 {
+				t.Errorf("n=%d: bound(SC) < bound(SC+)", n)
+			}
+		}
+	}
+}

@@ -1,0 +1,21 @@
+package core
+
+import (
+	"time"
+
+	"cliquesquare/internal/sparql"
+	"cliquesquare/internal/vargraph"
+)
+
+// OptimalHeight returns the minimal plan height for q over the whole
+// plan space. By Theorem 4.3 CliqueSquare-MSC is HO-partial — it always
+// produces at least one height-optimal plan — so the minimum over MSC's
+// (small) plan space is the optimum. MSC never fails to find a plan for
+// a valid connected query, so the result is well defined.
+func OptimalHeight(q *sparql.Query) (int, error) {
+	res, err := Optimize(q, Options{Method: vargraph.MSC, Timeout: 30 * time.Second})
+	if err != nil {
+		return 0, err
+	}
+	return res.MinHeight(), nil
+}

@@ -1,0 +1,123 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"cliquesquare/internal/sparql"
+	"cliquesquare/internal/vargraph"
+)
+
+// CreateQueryPlans builds the logical plan encoded by a sequence of
+// variable graphs (Section 4.2). states[0] is the initial query graph
+// (one triple pattern per node); each following graph is the reduction
+// of its predecessor by one clique decomposition; the last graph has a
+// single node. Every node of every graph is associated with an operator:
+// a Match for initial nodes, the parent's operator for single-member
+// (pass-through) nodes, and a Join over the members' operators for
+// multi-member nodes. A final Project returns the distinguished
+// variables.
+func CreateQueryPlans(q *sparql.Query, states []*vargraph.Graph) (*Plan, error) {
+	if len(states) == 0 {
+		return nil, fmt.Errorf("core: empty state sequence")
+	}
+	last := states[len(states)-1]
+	if last.Len() != 1 {
+		return nil, fmt.Errorf("core: final graph has %d nodes, want 1", last.Len())
+	}
+	g0 := states[0]
+	ops := make([]*Op, g0.Len())
+	for i := range g0.Nodes {
+		n := &g0.Nodes[i]
+		if len(n.Patterns) != 1 {
+			return nil, fmt.Errorf("core: initial graph node %d holds %d patterns", i, len(n.Patterns))
+		}
+		ops[i] = NewMatch(q, n.Patterns[0])
+	}
+	for level := 1; level < len(states); level++ {
+		g := states[level]
+		next := make([]*Op, g.Len())
+		for i := range g.Nodes {
+			n := &g.Nodes[i]
+			if len(n.Members) == 0 {
+				return nil, fmt.Errorf("core: graph %d node %d has no members", level, i)
+			}
+			if len(n.Members) == 1 {
+				next[i] = ops[n.Members[0]]
+				continue
+			}
+			children := make([]*Op, len(n.Members))
+			for j, m := range n.Members {
+				children[j] = ops[m]
+			}
+			join, err := NewJoinOp(children)
+			if err != nil {
+				return nil, fmt.Errorf("core: graph %d node %d: %w", level, i, err)
+			}
+			next[i] = join
+		}
+		ops = next
+	}
+	return NewPlan(q, ops[0]), nil
+}
+
+// NewMatch returns a Match operator for pattern i of q, with the
+// pattern's variables as its output attributes.
+func NewMatch(q *sparql.Query, i int) *Op {
+	vars := append([]string(nil), q.Patterns[i].Vars()...)
+	sort.Strings(vars)
+	return &Op{Kind: OpMatch, Pattern: i, Attrs: vars}
+}
+
+// NewJoinOp builds a J_A operator over children. Per Definition 4.1 the
+// join attributes A are the intersection of the children's attribute
+// sets (the decomposition clique's label variables are always contained
+// in it; the intersection may be larger when members share further
+// variables). Attributes shared by two or more — but not all — children
+// become residual equality predicates. The output schema is the union
+// of the children's schemas. It is an error for the intersection to be
+// empty (that would be a cartesian product, which CliqueSquare plans
+// never contain).
+func NewJoinOp(children []*Op) (*Op, error) {
+	if len(children) < 2 {
+		return nil, fmt.Errorf("core: join needs at least two inputs, got %d", len(children))
+	}
+	count := make(map[string]int)
+	for _, c := range children {
+		for _, a := range c.Attrs {
+			count[a]++
+		}
+	}
+	var attrs, joinAttrs, residual []string
+	for a, c := range count {
+		attrs = append(attrs, a)
+		switch {
+		case c == len(children):
+			joinAttrs = append(joinAttrs, a)
+		case c >= 2:
+			residual = append(residual, a)
+		}
+	}
+	if len(joinAttrs) == 0 {
+		return nil, fmt.Errorf("core: join inputs share no common attribute")
+	}
+	sort.Strings(attrs)
+	sort.Strings(joinAttrs)
+	sort.Strings(residual)
+	return &Op{
+		Kind:      OpJoin,
+		JoinAttrs: joinAttrs,
+		Residual:  residual,
+		Attrs:     attrs,
+		Children:  children,
+	}, nil
+}
+
+// NewPlan wraps root with a projection onto q's SELECT variables.
+func NewPlan(q *sparql.Query, root *Op) *Plan {
+	return &Plan{Query: q, Root: &Op{
+		Kind:     OpProject,
+		Attrs:    append([]string(nil), q.Select...),
+		Children: []*Op{root},
+	}}
+}

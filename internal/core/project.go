@@ -1,0 +1,147 @@
+package core
+
+import "sort"
+
+// PushProjections returns an equivalent plan in which every operator's
+// output schema is trimmed to the attributes actually needed above it:
+// the distinguished variables plus, per join, its join attributes and
+// residual-equality attributes (Section 4.2's "projections are pushed
+// down"). Narrower intermediate schemas shrink map output, shuffle and
+// intermediate-write volumes. The input plan is not modified; shared
+// (DAG) subplans remain shared in the output.
+func PushProjections(p *Plan) *Plan {
+	// Pass 1: accumulate, for every operator, the attributes its
+	// consumers need from it. DAG nodes accumulate over all parents.
+	needed := make(map[*Op]map[string]bool)
+	ensure := func(op *Op) map[string]bool {
+		if needed[op] == nil {
+			needed[op] = make(map[string]bool)
+		}
+		return needed[op]
+	}
+	root := p.Root // projection
+	child := root.Children[0]
+	cn := ensure(child)
+	for _, a := range root.Attrs {
+		cn[a] = true
+	}
+	// Topological walk: repeatedly process operators whose parents are
+	// all done. A simple DFS with post-order does not work for DAGs
+	// (needs from a second parent may arrive later), so iterate to a
+	// fixed point level by level: order ops by depth from the root.
+	order := topoFromRoot(child)
+	for _, op := range order {
+		n := ensure(op)
+		if op.Kind != OpJoin {
+			continue
+		}
+		for _, c := range op.Children {
+			cn := ensure(c)
+			// The child must provide what the parent outputs from it,
+			// plus the join and residual attributes it holds.
+			for a := range n {
+				if hasString(c.Attrs, a) {
+					cn[a] = true
+				}
+			}
+			for _, a := range op.JoinAttrs {
+				cn[a] = true
+			}
+			for _, a := range op.Residual {
+				if hasString(c.Attrs, a) {
+					cn[a] = true
+				}
+			}
+		}
+	}
+	// Pass 2: rebuild bottom-up with trimmed schemas, preserving DAG
+	// sharing.
+	rebuilt := make(map[*Op]*Op)
+	var build func(op *Op) *Op
+	build = func(op *Op) *Op {
+		if r, ok := rebuilt[op]; ok {
+			return r
+		}
+		attrs := trimAttrs(op.Attrs, needed[op])
+		r := &Op{
+			Kind:      op.Kind,
+			Pattern:   op.Pattern,
+			JoinAttrs: append([]string(nil), op.JoinAttrs...),
+			Residual:  append([]string(nil), op.Residual...),
+			Attrs:     attrs,
+		}
+		for _, c := range op.Children {
+			r.Children = append(r.Children, build(c))
+		}
+		rebuilt[op] = r
+		return r
+	}
+	newChild := build(child)
+	return &Plan{Query: p.Query, Root: &Op{
+		Kind:     OpProject,
+		Attrs:    append([]string(nil), root.Attrs...),
+		Children: []*Op{newChild},
+	}}
+}
+
+// topoFromRoot orders the operator DAG from the root downward so that
+// every operator appears before its children (parents' needs are final
+// when a node is processed).
+func topoFromRoot(root *Op) []*Op {
+	// Kahn's algorithm on parent counts.
+	parents := make(map[*Op]int)
+	var count func(op *Op)
+	seen := make(map[*Op]bool)
+	count = func(op *Op) {
+		if seen[op] {
+			return
+		}
+		seen[op] = true
+		for _, c := range op.Children {
+			parents[c]++
+			count(c)
+		}
+	}
+	count(root)
+	var order []*Op
+	queue := []*Op{root}
+	for len(queue) > 0 {
+		op := queue[0]
+		queue = queue[1:]
+		order = append(order, op)
+		for _, c := range op.Children {
+			parents[c]--
+			if parents[c] == 0 {
+				queue = append(queue, c)
+			}
+		}
+	}
+	return order
+}
+
+func hasString(xs []string, v string) bool {
+	for _, x := range xs {
+		if x == v {
+			return true
+		}
+	}
+	return false
+}
+
+// trimAttrs intersects attrs with keep, preserving sorted order; if the
+// intersection is empty (a pass-through branch whose values feed
+// nothing) the narrowest single attribute is kept so the relation stays
+// well-formed.
+func trimAttrs(attrs []string, keep map[string]bool) []string {
+	var out []string
+	for _, a := range attrs {
+		if keep[a] {
+			out = append(out, a)
+		}
+	}
+	if len(out) == 0 && len(attrs) > 0 {
+		out = []string{attrs[0]}
+	}
+	sort.Strings(out)
+	return out
+}

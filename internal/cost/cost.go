@@ -1,0 +1,243 @@
+// Package cost implements the MapReduce cost model of Section 5.4: the
+// cost of a plan is the estimated total work — scan I/O, join CPU,
+// framework I/O for intermediate results and network transfer — plus a
+// per-job initialization charge. The optimizer ranks the (few) plans
+// its chosen variant produces with this model and executes the
+// cheapest.
+package cost
+
+import (
+	"math"
+
+	"cliquesquare/internal/core"
+	"cliquesquare/internal/mapreduce"
+	"cliquesquare/internal/physical"
+	"cliquesquare/internal/rdf"
+	"cliquesquare/internal/sparql"
+)
+
+// Stats holds per-pattern cardinality statistics for one query over one
+// graph, collected with a single pass per pattern.
+type Stats struct {
+	q *sparql.Query
+	// card[i] is the number of triples matching pattern i.
+	card []float64
+	// distinct[i][v] is the number of distinct bindings of variable v
+	// among pattern i's matches.
+	distinct []map[string]float64
+}
+
+// NewStats scans g once per pattern of q and records match counts and
+// per-variable distinct-value counts.
+func NewStats(g *rdf.Graph, q *sparql.Query) *Stats {
+	s := &Stats{
+		q:        q,
+		card:     make([]float64, len(q.Patterns)),
+		distinct: make([]map[string]float64, len(q.Patterns)),
+	}
+	for i, tp := range q.Patterns {
+		seen := make(map[string]map[rdf.TermID]bool)
+		for _, v := range tp.Vars() {
+			seen[v] = make(map[rdf.TermID]bool)
+		}
+		n := 0
+		for _, t := range g.Triples() {
+			if !matches(g.Dict, tp, t) {
+				continue
+			}
+			n++
+			for _, p := range []rdf.Pos{rdf.SPos, rdf.PPos, rdf.OPos} {
+				if pt := tp.At(p); pt.IsVar {
+					seen[pt.Var][t.At(p)] = true
+				}
+			}
+		}
+		s.card[i] = float64(n)
+		s.distinct[i] = make(map[string]float64, len(seen))
+		for v, m := range seen {
+			s.distinct[i][v] = float64(len(m))
+		}
+	}
+	return s
+}
+
+func matches(d *rdf.Dict, tp sparql.TriplePattern, t rdf.Triple) bool {
+	var bound [3]rdf.TermID
+	var names [3]string
+	nb := 0
+	for _, p := range []rdf.Pos{rdf.SPos, rdf.PPos, rdf.OPos} {
+		pt := tp.At(p)
+		if !pt.IsVar {
+			id, ok := d.Lookup(pt.Term)
+			if !ok || id != t.At(p) {
+				return false
+			}
+			continue
+		}
+		for i := 0; i < nb; i++ {
+			if names[i] == pt.Var && bound[i] != t.At(p) {
+				return false
+			}
+		}
+		names[nb], bound[nb] = pt.Var, t.At(p)
+		nb++
+	}
+	return true
+}
+
+// PatternCard returns the exact match count of pattern i.
+func (s *Stats) PatternCard(i int) float64 { return s.card[i] }
+
+// Distinct returns the distinct-value count of variable v in pattern
+// i's matches (0 if v does not occur there).
+func (s *Stats) Distinct(i int, v string) float64 { return s.distinct[i][v] }
+
+// JoinCard estimates the cardinality of joining the given pattern set,
+// using the classical independence model: the product of the pattern
+// cardinalities divided, for every shared variable, by the largest
+// per-pattern distinct count raised to (occurrences-1).
+func (s *Stats) JoinCard(patterns []int) float64 {
+	if len(patterns) == 0 {
+		return 0
+	}
+	card := 1.0
+	occ := make(map[string]int)
+	maxd := make(map[string]float64)
+	for _, i := range patterns {
+		card *= s.card[i]
+		for v, d := range s.distinct[i] {
+			occ[v]++
+			if d > maxd[v] {
+				maxd[v] = d
+			}
+		}
+	}
+	for v, k := range occ {
+		if k < 2 {
+			continue
+		}
+		d := maxd[v]
+		if d < 1 {
+			return 0 // a shared variable with no bindings: empty join
+		}
+		card /= math.Pow(d, float64(k-1))
+	}
+	return card
+}
+
+// Model prices logical plans under the Section 5.4 formulas.
+type Model struct {
+	C mapreduce.Constants
+	S *Stats
+}
+
+// NewModel builds a model from cost constants and statistics.
+func NewModel(c mapreduce.Constants, s *Stats) *Model { return &Model{C: c, S: s} }
+
+// PlanCost estimates the total work of executing p: it classifies the
+// plan's joins as map or reduce joins (Section 5.2), then sums
+//
+//	c(MS)  = |pattern| · c_read                (+ c_check if filtered)
+//	c(MJ)  = c_join·(Σin + out) + out·c_write
+//	c(MF)  = |op|·(c_read + c_write)
+//	c(RJ)  = Σin·c_shuffle + c_join·(Σin + out) + out·c_write
+//	c(π)   = out·c_check
+//
+// plus JobInit per MapReduce job.
+func (m *Model) PlanCost(p *core.Plan) float64 {
+	pp, err := physical.Compile(p)
+	if err != nil {
+		return math.Inf(1)
+	}
+	total := m.C.JobInit * float64(pp.NumJobs())
+	counted := make(map[*core.Op]bool)
+	pats := make(map[*core.Op][]int)
+	var walk func(op *core.Op) float64
+	walk = func(op *core.Op) float64 {
+		// Cardinality estimate for op's pattern set, memoized.
+		if _, ok := pats[op]; !ok {
+			switch op.Kind {
+			case core.OpMatch:
+				pats[op] = []int{op.Pattern}
+			default:
+				var u []int
+				seen := make(map[int]bool)
+				for _, c := range op.Children {
+					walk(c)
+					for _, pi := range pats[c] {
+						if !seen[pi] {
+							seen[pi] = true
+							u = append(u, pi)
+						}
+					}
+				}
+				pats[op] = u
+			}
+		}
+		return m.S.JoinCard(pats[op])
+	}
+	var cost func(op *core.Op)
+	cost = func(op *core.Op) {
+		if counted[op] {
+			return
+		}
+		counted[op] = true
+		for _, c := range op.Children {
+			cost(c)
+		}
+		out := walk(op)
+		switch op.Kind {
+		case core.OpMatch:
+			total += m.S.PatternCard(op.Pattern) * m.C.Read
+			if patternFiltered(p.Query.Patterns[op.Pattern]) {
+				total += m.S.PatternCard(op.Pattern) * m.C.Check
+			}
+		case core.OpJoin:
+			in := 0.0
+			for _, c := range op.Children {
+				in += walk(c)
+			}
+			info := pp.Infos[op]
+			switch info.Kind {
+			case physical.KindMapJoin:
+				total += m.C.Join*(in+out) + out*m.C.Write
+			case physical.KindReduceJoin:
+				for _, c := range op.Children {
+					if pp.Infos[c].Kind == physical.KindReduceJoin {
+						// Map shuffler re-reading the previous job's
+						// output.
+						total += walk(c) * (m.C.Read + m.C.Write)
+					}
+				}
+				total += in*m.C.Shuffle + m.C.Join*(in+out) + out*m.C.Write
+			}
+		case core.OpProject:
+			total += out * m.C.Check
+		}
+	}
+	cost(p.Root)
+	return total
+}
+
+// patternFiltered reports whether a scan of tp needs a runtime filter
+// (constant subject/object or a repeated variable); the property
+// constant is resolved by file naming.
+func patternFiltered(tp sparql.TriplePattern) bool {
+	if !tp.S.IsVar || !tp.O.IsVar {
+		return true
+	}
+	return len(tp.Vars()) < 3 && tp.S.IsVar && tp.P.IsVar && tp.O.IsVar
+}
+
+// Choose returns the cheapest plan under the model, or nil for an empty
+// slice.
+func (m *Model) Choose(plans []*core.Plan) *core.Plan {
+	var best *core.Plan
+	bestCost := math.Inf(1)
+	for _, p := range plans {
+		if c := m.PlanCost(p); c < bestCost {
+			best, bestCost = p, c
+		}
+	}
+	return best
+}

@@ -1,0 +1,127 @@
+package cost
+
+import (
+	"fmt"
+	"math"
+	"testing"
+	"time"
+
+	"cliquesquare/internal/core"
+	"cliquesquare/internal/mapreduce"
+	"cliquesquare/internal/rdf"
+	"cliquesquare/internal/sparql"
+	"cliquesquare/internal/vargraph"
+)
+
+func chainGraph(n int) *rdf.Graph {
+	g := rdf.NewGraph()
+	for i := 0; i < n; i++ {
+		g.AddSPO(fmt.Sprintf("a%d", i), "p1", fmt.Sprintf("b%d", i))
+		g.AddSPO(fmt.Sprintf("b%d", i), "p2", fmt.Sprintf("c%d", i%3))
+		g.AddSPO(fmt.Sprintf("c%d", i%3), "p3", "d0")
+	}
+	return g
+}
+
+func TestStatsPatternCard(t *testing.T) {
+	g := chainGraph(10)
+	q := sparql.MustParse(`SELECT ?x WHERE { ?x <p1> ?y . ?y <p2> ?z }`)
+	s := NewStats(g, q)
+	if got := s.PatternCard(0); got != 10 {
+		t.Errorf("card(p1 pattern) = %v, want 10", got)
+	}
+	if got := s.PatternCard(1); got != 10 {
+		t.Errorf("card(p2 pattern) = %v, want 10", got)
+	}
+	if got := s.Distinct(1, "z"); got != 3 {
+		t.Errorf("distinct(z in p2 pattern) = %v, want 3", got)
+	}
+}
+
+func TestStatsConstants(t *testing.T) {
+	g := chainGraph(10)
+	q := sparql.MustParse(`SELECT ?x WHERE { ?x <p2> <c0> . ?x <p1> ?y }`)
+	s := NewStats(g, q)
+	// b0, b3, b6, b9 map to c0.
+	if got := s.PatternCard(0); got != 4 {
+		t.Errorf("card(?x p2 c0) = %v, want 4", got)
+	}
+}
+
+func TestStatsRepeatedVariable(t *testing.T) {
+	g := rdf.NewGraph()
+	g.AddSPO("a", "p", "a")
+	g.AddSPO("a", "p", "b")
+	q := &sparql.Query{Select: []string{"x"}, Patterns: []sparql.TriplePattern{{
+		S: sparql.Variable("x"), P: sparql.Constant(rdf.NewIRI("p")), O: sparql.Variable("x"),
+	}}}
+	s := NewStats(g, q)
+	if got := s.PatternCard(0); got != 1 {
+		t.Errorf("card(?x p ?x) = %v, want 1", got)
+	}
+}
+
+func TestJoinCardChain(t *testing.T) {
+	g := chainGraph(10)
+	q := sparql.MustParse(`SELECT ?x WHERE { ?x <p1> ?y . ?y <p2> ?z }`)
+	s := NewStats(g, q)
+	// card = 10*10 / max(distinct(y)) = 100/10 = 10.
+	if got := s.JoinCard([]int{0, 1}); math.Abs(got-10) > 1e-9 {
+		t.Errorf("JoinCard = %v, want 10", got)
+	}
+	if got := s.JoinCard(nil); got != 0 {
+		t.Errorf("JoinCard(nil) = %v, want 0", got)
+	}
+}
+
+func TestJoinCardEmptySharedVar(t *testing.T) {
+	g := chainGraph(5)
+	q := sparql.MustParse(`SELECT ?x WHERE { ?x <p1> ?y . ?y <nosuch> ?z }`)
+	s := NewStats(g, q)
+	if got := s.JoinCard([]int{0, 1}); got != 0 {
+		t.Errorf("JoinCard with empty pattern = %v, want 0", got)
+	}
+}
+
+func TestPlanCostPrefersFlatPlan(t *testing.T) {
+	// For a 4-chain, the flat MSC plan (1 reduce job) must cost less
+	// than a fully linear plan (2+ reduce jobs) when job init
+	// dominates.
+	g := chainGraph(50)
+	q := sparql.MustParse(`SELECT ?x WHERE { ?x <p1> ?y . ?y <p2> ?z . ?z <p3> ?w . ?x <p1> ?u }`)
+	s := NewStats(g, q)
+	m := NewModel(mapreduce.DefaultConstants(), s)
+
+	res, err := core.Optimize(q, core.Options{Method: vargraph.MSC, Timeout: 10 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	flat := m.Choose(res.Unique)
+	if flat == nil {
+		t.Fatal("no plan chosen")
+	}
+	// Build a deliberately linear plan: (((t0 ⋈ t3) ⋈ t1) ⋈ t2).
+	j1, err := core.NewJoinOp([]*core.Op{core.NewMatch(q, 0), core.NewMatch(q, 3)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	j2, err := core.NewJoinOp([]*core.Op{j1, core.NewMatch(q, 1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	j3, err := core.NewJoinOp([]*core.Op{j2, core.NewMatch(q, 2)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	linear := core.NewPlan(q, j3)
+	if cf, cl := m.PlanCost(flat), m.PlanCost(linear); cf >= cl {
+		t.Errorf("flat plan cost %v >= linear plan cost %v", cf, cl)
+	}
+}
+
+func TestChooseEmpty(t *testing.T) {
+	m := NewModel(mapreduce.DefaultConstants(), &Stats{})
+	if m.Choose(nil) != nil {
+		t.Error("Choose(nil) != nil")
+	}
+}

@@ -1,0 +1,106 @@
+// Package dstore simulates the distributed file system underneath
+// CliqueSquare: every compute node holds a set of named partition files
+// of fixed-width tuple rows (an HDFS-like layout, with the three-replica
+// placement of Section 5.1 implemented by the partition package on top).
+package dstore
+
+import (
+	"fmt"
+	"sort"
+
+	"cliquesquare/internal/rdf"
+)
+
+// Row is a flat tuple of dictionary-encoded terms.
+type Row []rdf.TermID
+
+// Clone returns an independent copy of the row.
+func (r Row) Clone() Row { return append(Row(nil), r...) }
+
+// File is a named partition file: rows sharing a schema.
+type File struct {
+	Name   string
+	Schema []string // column names (e.g. "s", "p", "o")
+	Rows   []Row
+}
+
+// Node is one simulated compute node's local file store.
+type Node struct {
+	ID    int
+	files map[string]*File
+}
+
+// Append adds rows to the named file, creating it (with the given
+// schema) on first use. It panics if an existing file has a different
+// schema, which would indicate a partitioning bug.
+func (n *Node) Append(name string, schema []string, rows ...Row) {
+	f, ok := n.files[name]
+	if !ok {
+		f = &File{Name: name, Schema: schema}
+		n.files[name] = f
+	} else if len(f.Schema) != len(schema) {
+		panic(fmt.Sprintf("dstore: file %q schema mismatch: %v vs %v", name, f.Schema, schema))
+	}
+	f.Rows = append(f.Rows, rows...)
+}
+
+// Get returns the named file if present.
+func (n *Node) Get(name string) (*File, bool) {
+	f, ok := n.files[name]
+	return f, ok
+}
+
+// Delete removes the named file.
+func (n *Node) Delete(name string) { delete(n.files, name) }
+
+// Names returns all file names on the node, sorted.
+func (n *Node) Names() []string {
+	out := make([]string, 0, len(n.files))
+	for k := range n.files {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Rows reports the total number of rows stored on the node.
+func (n *Node) Rows() int {
+	t := 0
+	for _, f := range n.files {
+		t += len(f.Rows)
+	}
+	return t
+}
+
+// Store is the cluster-wide file store: one Node per compute node.
+type Store struct {
+	nodes []*Node
+}
+
+// NewStore creates a store with n empty nodes.
+func NewStore(n int) *Store {
+	if n <= 0 {
+		panic("dstore: store needs at least one node")
+	}
+	s := &Store{nodes: make([]*Node, n)}
+	for i := range s.nodes {
+		s.nodes[i] = &Node{ID: i, files: make(map[string]*File)}
+	}
+	return s
+}
+
+// N reports the number of nodes.
+func (s *Store) N() int { return len(s.nodes) }
+
+// Node returns node i.
+func (s *Store) Node(i int) *Node { return s.nodes[i] }
+
+// TotalRows reports the number of rows across all nodes (replicas
+// counted separately).
+func (s *Store) TotalRows() int {
+	t := 0
+	for _, n := range s.nodes {
+		t += n.Rows()
+	}
+	return t
+}

@@ -1,0 +1,64 @@
+package dstore
+
+import (
+	"testing"
+)
+
+func TestStoreBasics(t *testing.T) {
+	s := NewStore(3)
+	if s.N() != 3 {
+		t.Fatalf("N = %d, want 3", s.N())
+	}
+	n0 := s.Node(0)
+	n0.Append("f1", []string{"s", "p", "o"}, Row{1, 2, 3}, Row{4, 5, 6})
+	n0.Append("f1", []string{"s", "p", "o"}, Row{7, 8, 9})
+	f, ok := n0.Get("f1")
+	if !ok || len(f.Rows) != 3 {
+		t.Fatalf("f1 = %v, %v", f, ok)
+	}
+	if _, ok := n0.Get("missing"); ok {
+		t.Error("Get(missing) returned ok")
+	}
+	if n0.Rows() != 3 || s.TotalRows() != 3 {
+		t.Errorf("Rows = %d, TotalRows = %d, want 3", n0.Rows(), s.TotalRows())
+	}
+	n0.Append("f0", []string{"x"}, Row{1})
+	names := n0.Names()
+	if len(names) != 2 || names[0] != "f0" || names[1] != "f1" {
+		t.Errorf("Names = %v", names)
+	}
+	n0.Delete("f0")
+	if _, ok := n0.Get("f0"); ok {
+		t.Error("file survived Delete")
+	}
+}
+
+func TestSchemaMismatchPanics(t *testing.T) {
+	s := NewStore(1)
+	n := s.Node(0)
+	n.Append("f", []string{"a", "b"}, Row{1, 2})
+	defer func() {
+		if recover() == nil {
+			t.Error("schema mismatch did not panic")
+		}
+	}()
+	n.Append("f", []string{"a"}, Row{1})
+}
+
+func TestNewStorePanicsOnZeroNodes(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("NewStore(0) did not panic")
+		}
+	}()
+	NewStore(0)
+}
+
+func TestRowClone(t *testing.T) {
+	r := Row{1, 2, 3}
+	c := r.Clone()
+	c[0] = 99
+	if r[0] != 1 {
+		t.Error("Clone aliases the original")
+	}
+}

@@ -1,0 +1,115 @@
+package experiments
+
+import (
+	"fmt"
+	"math/big"
+
+	"cliquesquare/internal/core"
+	"cliquesquare/internal/lubm"
+	"cliquesquare/internal/systems"
+	"cliquesquare/internal/systems/h2rdfsim"
+	"cliquesquare/internal/systems/shapesim"
+	"cliquesquare/internal/vargraph"
+)
+
+// SystemRow is one Figure 21 entry: one query under the three systems.
+type SystemRow struct {
+	Query     string
+	TPs       int
+	Selective bool
+	// Labels and times indexed CSQ, SHAPE-2f, H2RDF+.
+	Labels  [3]string
+	TimeSec [3]float64
+	Rows    int
+}
+
+// Annotation renders the figure's x-axis notation, e.g. "Q2(2|M00)".
+func (r *SystemRow) Annotation() string {
+	return fmt.Sprintf("%s(%d|%s%s%s)", r.Query, r.TPs, r.Labels[0], r.Labels[1], r.Labels[2])
+}
+
+// SystemComparison regenerates Figure 21: the 14-query workload under
+// CSQ, the SHAPE-2f simulator and the H2RDF+ simulator, over the same
+// data and cost regime.
+func SystemComparison(cc ClusterConfig) ([]SystemRow, error) {
+	g := lubm.Generate(lubm.DefaultConfig(cc.Universities))
+	cs := newCSQ(g, cc)
+	shCfg := shapesim.DefaultConfig()
+	shCfg.Nodes, shCfg.Constants = cc.Nodes, cc.Constants
+	sh := shapesim.New(g, shCfg)
+	h2Cfg := h2rdfsim.DefaultConfig()
+	h2Cfg.Nodes, h2Cfg.Constants = cc.Nodes, cc.Constants
+	h2 := h2rdfsim.New(g, h2Cfg)
+
+	var out []SystemRow
+	for _, q := range lubm.Queries() {
+		row := SystemRow{Query: q.Name, TPs: len(q.Patterns), Selective: lubm.Selective[q.Name]}
+		for i, sys := range []systems.System{cs, sh, h2} {
+			r, err := sys.Run(q)
+			if err != nil {
+				return nil, fmt.Errorf("%s on %s: %w", sys.Name(), q.Name, err)
+			}
+			row.Labels[i] = r.JobLabel()
+			row.TimeSec[i] = r.Time / 1e6
+			if i == 0 {
+				row.Rows = r.Rows
+			} else if r.Rows != row.Rows {
+				return nil, fmt.Errorf("%s: %s returned %d rows, CSQ %d",
+					q.Name, sys.Name(), r.Rows, row.Rows)
+			}
+		}
+		out = append(out, row)
+	}
+	return out, nil
+}
+
+// WorkloadRow is one Figure 22 entry: the query characteristics over
+// the generated dataset.
+type WorkloadRow struct {
+	Query string
+	TPs   int
+	JVs   int
+	Card  int
+}
+
+// WorkloadCharacteristics regenerates Figure 22 (triple patterns, join
+// variables, result cardinality) for the loaded scale, computing exact
+// cardinalities with the CSQ engine.
+func WorkloadCharacteristics(cc ClusterConfig) ([]WorkloadRow, error) {
+	g := lubm.Generate(lubm.DefaultConfig(cc.Universities))
+	eng := newCSQ(g, cc)
+	var out []WorkloadRow
+	for _, q := range lubm.Queries() {
+		r, err := eng.Run(q)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", q.Name, err)
+		}
+		out = append(out, WorkloadRow{
+			Query: q.Name,
+			TPs:   len(q.Patterns),
+			JVs:   len(q.JoinVars()),
+			Card:  r.Rows,
+		})
+	}
+	return out, nil
+}
+
+// BoundsRow is one Figure 8 entry: the worst-case decomposition-count
+// bound D(n) for every variant at one graph size.
+type BoundsRow struct {
+	N      int
+	Bounds map[vargraph.Method]*big.Int
+}
+
+// Bounds tabulates Figure 8's closed-form upper bounds for n = 1..maxN.
+func Bounds(maxN int) []BoundsRow {
+	var out []BoundsRow
+	for n := 1; n <= maxN; n++ {
+		row := BoundsRow{N: n, Bounds: make(map[vargraph.Method]*big.Int)}
+		for _, m := range vargraph.AllMethods {
+			row.Bounds[m] = core.DecompositionBound(m, n)
+		}
+		out = append(out, row)
+	}
+	return out
+}

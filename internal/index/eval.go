@@ -1,0 +1,153 @@
+package index
+
+import (
+	"cliquesquare/internal/rdf"
+	"cliquesquare/internal/sparql"
+)
+
+// EvalResult is the outcome of a local BGP evaluation: rows over Vars,
+// plus the number of index entries touched (the work measure charged to
+// the simulated clock by the systems using this evaluator).
+type EvalResult struct {
+	Vars    []string
+	Rows    [][]rdf.TermID
+	Touched int
+}
+
+// Col returns the column of variable v, or -1.
+func (r *EvalResult) Col(v string) int {
+	for i, x := range r.Vars {
+		if x == v {
+			return i
+		}
+	}
+	return -1
+}
+
+// EvalBGP evaluates the patterns over the store with index
+// nested-loop joins: patterns are processed most-bound-first, each
+// binding extended through index lookups. Results are bags (the caller
+// projects and deduplicates).
+func EvalBGP(st *Store, dict *rdf.Dict, patterns []sparql.TriplePattern) *EvalResult {
+	res := &EvalResult{Rows: [][]rdf.TermID{{}}}
+	remaining := make([]sparql.TriplePattern, len(patterns))
+	copy(remaining, patterns)
+	boundVars := make(map[string]int) // var -> column
+
+	for len(remaining) > 0 {
+		// Pick the pattern with the most bound positions.
+		best, bestScore := 0, -1
+		for i, tp := range remaining {
+			score := 0
+			for _, pos := range []rdf.Pos{rdf.SPos, rdf.PPos, rdf.OPos} {
+				pt := tp.At(pos)
+				if !pt.IsVar {
+					score += 2 // constants are more selective anchors
+					continue
+				}
+				if _, ok := boundVars[pt.Var]; ok {
+					score += 2
+				}
+			}
+			if score > bestScore {
+				best, bestScore = i, score
+			}
+		}
+		tp := remaining[best]
+		remaining = append(remaining[:best], remaining[best+1:]...)
+
+		// New variables this pattern binds, in s,p,o order.
+		var newVars []string
+		newPos := make(map[string]rdf.Pos)
+		for _, pos := range []rdf.Pos{rdf.SPos, rdf.PPos, rdf.OPos} {
+			pt := tp.At(pos)
+			if pt.IsVar {
+				if _, old := boundVars[pt.Var]; !old {
+					if _, dup := newPos[pt.Var]; !dup {
+						newPos[pt.Var] = pos
+						newVars = append(newVars, pt.Var)
+					}
+				}
+			}
+		}
+
+		var next [][]rdf.TermID
+		for _, row := range res.Rows {
+			s, p, o, possible := resolve(tp, dict, boundVars, row)
+			if !possible {
+				continue
+			}
+			matches, touched := st.Lookup(s, p, o)
+			res.Touched += touched
+			for _, t := range matches {
+				if !consistent(tp, t, boundVars, row) {
+					continue
+				}
+				nr := make([]rdf.TermID, 0, len(row)+len(newVars))
+				nr = append(nr, row...)
+				ok := true
+				for _, v := range newVars {
+					val := t.At(newPos[v])
+					// Repeated new variable within the pattern.
+					for _, pos := range []rdf.Pos{rdf.SPos, rdf.PPos, rdf.OPos} {
+						if pt := tp.At(pos); pt.IsVar && pt.Var == v && t.At(pos) != val {
+							ok = false
+						}
+					}
+					nr = append(nr, val)
+				}
+				if ok {
+					next = append(next, nr)
+				}
+			}
+		}
+		for _, v := range newVars {
+			boundVars[v] = len(res.Vars)
+			res.Vars = append(res.Vars, v)
+		}
+		res.Rows = next
+		if len(next) == 0 {
+			break
+		}
+	}
+	if len(remaining) > 0 {
+		res.Rows = nil
+	}
+	return res
+}
+
+// resolve computes the lookup arguments for tp given current bindings;
+// possible is false when a constant is absent from the dictionary.
+func resolve(tp sparql.TriplePattern, dict *rdf.Dict, bound map[string]int, row []rdf.TermID) (s, p, o rdf.TermID, possible bool) {
+	vals := [3]rdf.TermID{}
+	for i, pos := range []rdf.Pos{rdf.SPos, rdf.PPos, rdf.OPos} {
+		pt := tp.At(pos)
+		if !pt.IsVar {
+			id, ok := dict.Lookup(pt.Term)
+			if !ok {
+				return 0, 0, 0, false
+			}
+			vals[i] = id
+			continue
+		}
+		if c, ok := bound[pt.Var]; ok {
+			vals[i] = row[c]
+		}
+	}
+	return vals[0], vals[1], vals[2], true
+}
+
+// consistent re-checks bound-variable positions against a concrete
+// triple (Lookup guarantees them when used as search bounds; repeated
+// bound variables across positions still need checking).
+func consistent(tp sparql.TriplePattern, t rdf.Triple, bound map[string]int, row []rdf.TermID) bool {
+	for _, pos := range []rdf.Pos{rdf.SPos, rdf.PPos, rdf.OPos} {
+		pt := tp.At(pos)
+		if pt.IsVar {
+			if c, ok := bound[pt.Var]; ok && t.At(pos) != row[c] {
+				return false
+			}
+		}
+	}
+	return true
+}

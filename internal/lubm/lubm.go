@@ -1,0 +1,192 @@
+// Package lubm is a from-scratch generator of LUBM-like RDF data (the
+// Lehigh University Benchmark schema used by the paper's evaluation,
+// Section 6.1) plus the 14-query workload of Appendix A. The paper runs
+// LUBM10k (~1 billion triples) on a 7-node Hadoop cluster; this
+// generator reproduces the schema, the predicate mix and the structural
+// selectivities at a configurable laptop-friendly scale, so the
+// workload's selective/non-selective split and the relative plan
+// behaviours carry over.
+package lubm
+
+import (
+	"fmt"
+	"math/rand"
+
+	"cliquesquare/internal/rdf"
+	"cliquesquare/internal/sparql"
+)
+
+// NS is the univ-bench ontology namespace used by class and property
+// IRIs.
+const NS = "http://www.lehigh.edu/~zhp2/2004/0401/univ-bench.owl#"
+
+// Class and property IRIs of the subset of the LUBM schema the
+// Appendix-A workload touches.
+var (
+	ClassUniversity     = NS + "University"
+	ClassDepartment     = NS + "Department"
+	ClassFullProfessor  = NS + "FullProfessor"
+	ClassAssociateProf  = NS + "AssociateProfessor"
+	ClassAssistantProf  = NS + "AssistantProfessor"
+	ClassLecturer       = NS + "Lecturer"
+	ClassUndergraduate  = NS + "UndergraduateStudent"
+	ClassGraduate       = NS + "GraduateStudent"
+	ClassCourse         = NS + "Course"
+	ClassGraduateCourse = NS + "GraduateCourse"
+
+	PropWorksFor      = NS + "worksFor"
+	PropMemberOf      = NS + "memberOf"
+	PropSubOrgOf      = NS + "subOrganizationOf"
+	PropDoctoralFrom  = NS + "doctoralDegreeFrom"
+	PropUndergradFrom = NS + "undergraduateDegreeFrom"
+	PropTakesCourse   = NS + "takesCourse"
+	PropTeacherOf     = NS + "teacherOf"
+	PropAdvisor       = NS + "advisor"
+	PropEmail         = NS + "emailAddress"
+	PropName          = NS + "name"
+	PropTelephone     = NS + "telephone"
+	PropResearchInt   = NS + "researchInterest"
+)
+
+// Config controls the generated dataset's size and shape. The defaults
+// mirror LUBM's per-department proportions at reduced absolute counts.
+type Config struct {
+	Universities int
+	Seed         int64
+
+	DeptsPerUniv   int // departments per university
+	FullProfs      int // per department
+	AssociateProfs int
+	AssistantProfs int
+	Lecturers      int
+	Undergrads     int // per department
+	Grads          int
+	Courses        int // undergraduate courses per department
+	GradCourses    int
+}
+
+// DefaultConfig returns a configuration for the given number of
+// universities with LUBM-like proportions.
+func DefaultConfig(universities int) Config {
+	return Config{
+		Universities:   universities,
+		Seed:           42,
+		DeptsPerUniv:   5,
+		FullProfs:      3,
+		AssociateProfs: 3,
+		AssistantProfs: 3,
+		Lecturers:      2,
+		Undergrads:     24,
+		Grads:          8,
+		Courses:        10,
+		GradCourses:    5,
+	}
+}
+
+// UniversityIRI returns the IRI of university i, matching the constant
+// <http://www.University0.edu> used by the benchmark queries.
+func UniversityIRI(i int) string { return fmt.Sprintf("http://www.University%d.edu", i) }
+
+// DeptIRI returns the IRI of department d of university u.
+func DeptIRI(u, d int) string {
+	return fmt.Sprintf("http://www.Department%d.University%d.edu", d, u)
+}
+
+// Generate builds the dataset deterministically from cfg.
+func Generate(cfg Config) *rdf.Graph {
+	g := rdf.NewGraph()
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	typ := rdf.NewIRI(sparql.RDFType)
+
+	addType := func(s, class string) {
+		g.AddTerms(rdf.NewIRI(s), typ, rdf.NewIRI(class))
+	}
+	add := func(s, p, o string) { g.AddSPO(s, p, o) }
+	addLit := func(s, p, o string) { g.AddSPOLit(s, p, o) }
+
+	for u := 0; u < cfg.Universities; u++ {
+		univ := UniversityIRI(u)
+		addType(univ, ClassUniversity)
+		addLit(univ, PropName, fmt.Sprintf("University%d", u))
+		for d := 0; d < cfg.DeptsPerUniv; d++ {
+			dept := DeptIRI(u, d)
+			addType(dept, ClassDepartment)
+			add(dept, PropSubOrgOf, univ)
+			addLit(dept, PropName, fmt.Sprintf("Department%d", d))
+
+			// Courses first so teachers can be assigned.
+			courses := make([]string, 0, cfg.Courses+cfg.GradCourses)
+			gradCourses := make([]string, 0, cfg.GradCourses)
+			for c := 0; c < cfg.Courses; c++ {
+				iri := fmt.Sprintf("%s/Course%d", dept, c)
+				addType(iri, ClassCourse)
+				addLit(iri, PropName, fmt.Sprintf("Course%d", c))
+				courses = append(courses, iri)
+			}
+			for c := 0; c < cfg.GradCourses; c++ {
+				iri := fmt.Sprintf("%s/GraduateCourse%d", dept, c)
+				addType(iri, ClassGraduateCourse)
+				addLit(iri, PropName, fmt.Sprintf("GraduateCourse%d", c))
+				courses = append(courses, iri)
+				gradCourses = append(gradCourses, iri)
+			}
+
+			var fullProfs, allProfs []string
+			prof := func(kind string, class string, n int) {
+				for i := 0; i < n; i++ {
+					iri := fmt.Sprintf("%s/%s%d", dept, kind, i)
+					addType(iri, class)
+					add(iri, PropWorksFor, dept)
+					add(iri, PropDoctoralFrom, UniversityIRI(rng.Intn(cfg.Universities)))
+					addLit(iri, PropEmail, fmt.Sprintf("%s%d@Department%d.University%d.edu", kind, i, d, u))
+					addLit(iri, PropName, fmt.Sprintf("%s%d", kind, i))
+					addLit(iri, PropTelephone, fmt.Sprintf("xxx-%04d", rng.Intn(10000)))
+					allProfs = append(allProfs, iri)
+					if class == ClassFullProfessor {
+						fullProfs = append(fullProfs, iri)
+					}
+				}
+			}
+			prof("FullProfessor", ClassFullProfessor, cfg.FullProfs)
+			prof("AssociateProfessor", ClassAssociateProf, cfg.AssociateProfs)
+			prof("AssistantProfessor", ClassAssistantProf, cfg.AssistantProfs)
+			prof("Lecturer", ClassLecturer, cfg.Lecturers)
+
+			// Each course taught by one professor; graduate courses by
+			// full professors (so Q12-Q14 join as in LUBM).
+			for i, c := range courses {
+				add(allProfs[i%len(allProfs)], PropTeacherOf, c)
+			}
+
+			for i := 0; i < cfg.Undergrads; i++ {
+				iri := fmt.Sprintf("%s/UndergraduateStudent%d", dept, i)
+				addType(iri, ClassUndergraduate)
+				add(iri, PropMemberOf, dept)
+				addLit(iri, PropName, fmt.Sprintf("UndergraduateStudent%d", i))
+				// 2-4 courses from the department's undergraduate pool.
+				nc := 2 + rng.Intn(3)
+				for k := 0; k < nc; k++ {
+					add(iri, PropTakesCourse, courses[rng.Intn(cfg.Courses)])
+				}
+				// ~1/5 of undergraduates have an advisor (a professor).
+				if rng.Intn(5) == 0 {
+					add(iri, PropAdvisor, allProfs[rng.Intn(len(allProfs))])
+				}
+			}
+			for i := 0; i < cfg.Grads; i++ {
+				iri := fmt.Sprintf("%s/GraduateStudent%d", dept, i)
+				addType(iri, ClassGraduate)
+				add(iri, PropMemberOf, dept)
+				add(iri, PropUndergradFrom, UniversityIRI(rng.Intn(cfg.Universities)))
+				addLit(iri, PropEmail, fmt.Sprintf("GraduateStudent%d@Department%d.University%d.edu", i, d, u))
+				addLit(iri, PropName, fmt.Sprintf("GraduateStudent%d", i))
+				nc := 1 + rng.Intn(3)
+				for k := 0; k < nc; k++ {
+					add(iri, PropTakesCourse, gradCourses[rng.Intn(len(gradCourses))])
+				}
+				add(iri, PropAdvisor, fullProfs[rng.Intn(len(fullProfs))])
+			}
+		}
+	}
+	return g
+}

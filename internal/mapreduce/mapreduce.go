@@ -1,0 +1,250 @@
+// Package mapreduce is a deterministic, in-process simulator of a
+// Hadoop-style MapReduce cluster: jobs with a map phase, a hash shuffle
+// and a reduce phase run over the nodes of a simulated cluster, with a
+// simulated clock charging per-tuple I/O, CPU and network costs plus a
+// fixed per-job initialization overhead. The paper evaluates CliqueSquare
+// on a 7-node Hadoop cluster; this simulator substitutes for it while
+// preserving what the evaluation measures — how plan shape (number of
+// jobs, join levels, intermediate sizes) drives response time.
+package mapreduce
+
+import (
+	"encoding/binary"
+	"hash/fnv"
+
+	"cliquesquare/internal/dstore"
+)
+
+// Row is a tuple flowing through a job.
+type Row = dstore.Row
+
+// Keyed is a shuffled record: a grouping key, an input tag (which join
+// input the row belongs to) and the row itself.
+type Keyed struct {
+	Key string
+	Tag int
+	Row Row
+}
+
+// Constants are the per-tuple cost constants of Section 5.4 plus the
+// per-job initialization overhead that makes extra MapReduce jobs
+// expensive (the effect flat plans exploit). Units are microseconds of
+// simulated time per tuple (or per job for JobInit).
+type Constants struct {
+	Read    float64 // c_read: read one tuple from the store
+	Write   float64 // c_write: write one tuple to the store
+	Shuffle float64 // c_shuffle: move one tuple across the network
+	Check   float64 // c_check: evaluate a filter/projection on a tuple
+	Join    float64 // c_join: process one tuple through a join
+	JobInit float64 // fixed startup cost of one MapReduce job
+}
+
+// DefaultConstants returns cost constants roughly proportioned like a
+// small Hadoop cluster: network ~3× disk, job startup measured in
+// seconds (5e6 µs).
+func DefaultConstants() Constants {
+	return Constants{Read: 1, Write: 1, Shuffle: 3, Check: 0.1, Join: 1, JobInit: 5e6}
+}
+
+// Meter accumulates one node's simulated work during one phase.
+type Meter struct {
+	IO, CPU, Net float64
+}
+
+// Read charges reading n tuples.
+func (m *Meter) Read(c *Constants, n int) { m.IO += c.Read * float64(n) }
+
+// Write charges writing n tuples.
+func (m *Meter) Write(c *Constants, n int) { m.IO += c.Write * float64(n) }
+
+// Check charges n filter/projection evaluations.
+func (m *Meter) Check(c *Constants, n int) { m.CPU += c.Check * float64(n) }
+
+// Join charges processing n tuples through a join.
+func (m *Meter) Join(c *Constants, n int) { m.CPU += c.Join * float64(n) }
+
+// Shuffle charges receiving n tuples over the network.
+func (m *Meter) Shuffle(c *Constants, n int) { m.Net += c.Shuffle * float64(n) }
+
+// Total is the node's simulated time for the phase.
+func (m *Meter) Total() float64 { return m.IO + m.CPU + m.Net }
+
+// Job describes one MapReduce job. Map runs once per node; it may emit
+// keyed records into the shuffle and/or write rows to the job's direct
+// output (map-only output). Reduce, if non-nil, runs once per node over
+// the keyed records routed to it (grouped by exact key) and writes rows
+// to the job's output. The closures must charge their work to the
+// provided Meter.
+type Job struct {
+	Name   string
+	Map    func(node int, m *Meter, emit func(Keyed), out func(Row))
+	Reduce func(node int, m *Meter, groups map[string][]Keyed, out func(Row))
+}
+
+// JobStats records one executed job's simulated timing.
+type JobStats struct {
+	Name          string
+	MapOnly       bool
+	MapTime       float64 // max over nodes
+	ShuffleTime   float64
+	ReduceTime    float64
+	Shuffled      int     // records through the shuffle
+	ShuffledCells int     // total row cells through the shuffle (volume)
+	Output        int     // rows written to the job output
+	Time          float64 // init + map + shuffle + reduce
+}
+
+// Cluster is a simulated MapReduce cluster over a shared file store.
+type Cluster struct {
+	Store *dstore.Store
+	C     Constants
+
+	// Jobs lists per-job stats in execution order.
+	Jobs []JobStats
+
+	totalWork float64
+}
+
+// NewCluster creates a cluster over the given store.
+func NewCluster(store *dstore.Store, c Constants) *Cluster {
+	return &Cluster{Store: store, C: c}
+}
+
+// N reports the number of nodes.
+func (cl *Cluster) N() int { return cl.Store.N() }
+
+// ResponseTime is the total simulated wall-clock time of all jobs run
+// so far (jobs execute sequentially, phases within a job in parallel
+// across nodes).
+func (cl *Cluster) ResponseTime() float64 {
+	t := 0.0
+	for _, j := range cl.Jobs {
+		t += j.Time
+	}
+	return t
+}
+
+// TotalWork is the summed per-node work of all jobs (the cost model's
+// total-work metric, Section 5.4).
+func (cl *Cluster) TotalWork() float64 {
+	return cl.totalWork
+}
+
+// Output of a job: rows per node.
+type Output struct {
+	PerNode [][]Row
+}
+
+// Rows returns all output rows concatenated in node order.
+func (o *Output) Rows() []Row {
+	var out []Row
+	for _, rs := range o.PerNode {
+		out = append(out, rs...)
+	}
+	return out
+}
+
+// Len is the total number of output rows.
+func (o *Output) Len() int {
+	n := 0
+	for _, rs := range o.PerNode {
+		n += len(rs)
+	}
+	return n
+}
+
+// Run executes one job and returns its output. Map outputs and reduce
+// outputs append to the same per-node output set; a job uses one or the
+// other (map-only vs map+reduce) per the physical plan's structure.
+func (cl *Cluster) Run(job Job) *Output {
+	n := cl.N()
+	out := &Output{PerNode: make([][]Row, n)}
+	stats := JobStats{Name: job.Name, MapOnly: job.Reduce == nil}
+
+	// Map phase.
+	shuffled := make([][]Keyed, n) // destination node -> records
+	mapMax := 0.0
+	work := 0.0
+	for node := 0; node < n; node++ {
+		var m Meter
+		nd := node
+		emit := func(k Keyed) {
+			dest := routeKey(k.Key) % n
+			shuffled[dest] = append(shuffled[dest], k)
+			stats.Shuffled++
+			stats.ShuffledCells += len(k.Row)
+		}
+		output := func(r Row) {
+			out.PerNode[nd] = append(out.PerNode[nd], r)
+			stats.Output++
+		}
+		job.Map(node, &m, emit, output)
+		if t := m.Total(); t > mapMax {
+			mapMax = t
+		}
+		work += m.Total()
+	}
+	stats.MapTime = mapMax
+
+	// Shuffle + reduce phases.
+	if job.Reduce != nil {
+		shufMax, redMax := 0.0, 0.0
+		for node := 0; node < n; node++ {
+			var sm Meter
+			sm.Shuffle(&cl.C, len(shuffled[node]))
+			if t := sm.Total(); t > shufMax {
+				shufMax = t
+			}
+			work += sm.Total()
+
+			groups := make(map[string][]Keyed)
+			for _, k := range shuffled[node] {
+				groups[k.Key] = append(groups[k.Key], k)
+			}
+			var rm Meter
+			nd := node
+			output := func(r Row) {
+				out.PerNode[nd] = append(out.PerNode[nd], r)
+				stats.Output++
+			}
+			job.Reduce(node, &rm, groups, output)
+			if t := rm.Total(); t > redMax {
+				redMax = t
+			}
+			work += rm.Total()
+		}
+		stats.ShuffleTime = shufMax
+		stats.ReduceTime = redMax
+	}
+
+	stats.Time = cl.C.JobInit + stats.MapTime + stats.ShuffleTime + stats.ReduceTime
+	work += cl.C.JobInit
+	cl.totalWork += work
+	cl.Jobs = append(cl.Jobs, stats)
+	return out
+}
+
+// Reset clears accumulated job statistics (the store is untouched).
+func (cl *Cluster) Reset() {
+	cl.Jobs = nil
+	cl.totalWork = 0
+}
+
+// EncodeKey builds a shuffle key from a group identifier and attribute
+// values. Exact byte equality of keys means exact equality of values,
+// so reduce-side grouping is collision-free; node routing hashes the
+// key.
+func EncodeKey(group int, vals []uint32) string {
+	buf := make([]byte, 4+4*len(vals))
+	binary.LittleEndian.PutUint32(buf, uint32(group))
+	for i, v := range vals {
+		binary.LittleEndian.PutUint32(buf[4+4*i:], v)
+	}
+	return string(buf)
+}
+
+func routeKey(k string) int {
+	h := fnv.New32a()
+	h.Write([]byte(k))
+	return int(h.Sum32() & 0x7FFFFFFF)
+}

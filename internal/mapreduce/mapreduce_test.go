@@ -1,0 +1,168 @@
+package mapreduce
+
+import (
+	"testing"
+	"testing/quick"
+
+	"cliquesquare/internal/dstore"
+	"cliquesquare/internal/rdf"
+)
+
+func wordCountCluster(n int) (*Cluster, *dstore.Store) {
+	store := dstore.NewStore(n)
+	return NewCluster(store, DefaultConstants()), store
+}
+
+func TestMapOnlyJob(t *testing.T) {
+	cl, store := wordCountCluster(3)
+	for i := 0; i < 3; i++ {
+		store.Node(i).Append("in", []string{"v"}, dstore.Row{rdf.TermID(i + 1)})
+	}
+	out := cl.Run(Job{
+		Name: "identity",
+		Map: func(node int, m *Meter, emit func(Keyed), out func(Row)) {
+			f, ok := store.Node(node).Get("in")
+			if !ok {
+				return
+			}
+			m.Read(&cl.C, len(f.Rows))
+			for _, r := range f.Rows {
+				out(r)
+			}
+		},
+	})
+	if out.Len() != 3 {
+		t.Errorf("output = %d rows, want 3", out.Len())
+	}
+	if len(cl.Jobs) != 1 || !cl.Jobs[0].MapOnly {
+		t.Errorf("jobs = %+v", cl.Jobs)
+	}
+	if cl.Jobs[0].Shuffled != 0 {
+		t.Error("map-only job shuffled records")
+	}
+	if cl.ResponseTime() <= cl.C.JobInit {
+		t.Errorf("response time %v should exceed job init %v", cl.ResponseTime(), cl.C.JobInit)
+	}
+}
+
+func TestShuffleGroupsByExactKey(t *testing.T) {
+	cl, _ := wordCountCluster(4)
+	// Each node emits (key = node%2, value = node); reduce counts per
+	// group.
+	var groupsSeen int
+	out := cl.Run(Job{
+		Name: "group",
+		Map: func(node int, m *Meter, emit func(Keyed), out func(Row)) {
+			emit(Keyed{Key: EncodeKey(0, []uint32{uint32(node % 2)}), Tag: 0, Row: Row{rdf.TermID(node)}})
+		},
+		Reduce: func(node int, m *Meter, groups map[string][]Keyed, out func(Row)) {
+			for _, recs := range groups {
+				groupsSeen++
+				out(Row{rdf.TermID(len(recs))})
+			}
+		},
+	})
+	if groupsSeen != 2 {
+		t.Errorf("saw %d groups, want 2", groupsSeen)
+	}
+	if out.Len() != 2 {
+		t.Errorf("output = %d rows, want 2", out.Len())
+	}
+	if cl.Jobs[0].Shuffled != 4 {
+		t.Errorf("shuffled = %d, want 4", cl.Jobs[0].Shuffled)
+	}
+}
+
+func TestEncodeKeyInjective(t *testing.T) {
+	f := func(g1, g2 uint16, a, b uint32) bool {
+		k1 := EncodeKey(int(g1), []uint32{a, b})
+		k2 := EncodeKey(int(g2), []uint32{a, b})
+		if (g1 == g2) != (k1 == k2) {
+			return false
+		}
+		k3 := EncodeKey(int(g1), []uint32{b, a})
+		if a != b && k1 == k3 {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTimingIsMaxOverNodesPlusInit(t *testing.T) {
+	cl, _ := wordCountCluster(2)
+	// Node 0 does 100 reads, node 1 does 10: map time must be the max.
+	cl.Run(Job{
+		Name: "skew",
+		Map: func(node int, m *Meter, emit func(Keyed), out func(Row)) {
+			if node == 0 {
+				m.Read(&cl.C, 100)
+			} else {
+				m.Read(&cl.C, 10)
+			}
+		},
+	})
+	j := cl.Jobs[0]
+	if j.MapTime != 100*cl.C.Read {
+		t.Errorf("map time = %v, want %v", j.MapTime, 100*cl.C.Read)
+	}
+	if j.Time != cl.C.JobInit+j.MapTime {
+		t.Errorf("job time = %v, want init+map", j.Time)
+	}
+	// Total work sums both nodes.
+	if cl.TotalWork() != cl.C.JobInit+110*cl.C.Read {
+		t.Errorf("total work = %v", cl.TotalWork())
+	}
+}
+
+func TestReset(t *testing.T) {
+	cl, _ := wordCountCluster(1)
+	cl.Run(Job{Name: "noop", Map: func(int, *Meter, func(Keyed), func(Row)) {}})
+	cl.Reset()
+	if len(cl.Jobs) != 0 || cl.TotalWork() != 0 || cl.ResponseTime() != 0 {
+		t.Error("Reset did not clear stats")
+	}
+}
+
+func TestRoutingDeterministic(t *testing.T) {
+	for i := 0; i < 10; i++ {
+		k := EncodeKey(i, []uint32{uint32(i * 7)})
+		if routeKey(k) != routeKey(k) {
+			t.Fatal("routeKey not deterministic")
+		}
+	}
+}
+
+func TestMeterAccumulates(t *testing.T) {
+	c := DefaultConstants()
+	var m Meter
+	m.Read(&c, 10)
+	m.Write(&c, 5)
+	m.Check(&c, 20)
+	m.Join(&c, 3)
+	m.Shuffle(&c, 2)
+	want := 10*c.Read + 5*c.Write + 20*c.Check + 3*c.Join + 2*c.Shuffle
+	if m.Total() != want {
+		t.Errorf("Total = %v, want %v", m.Total(), want)
+	}
+}
+
+func TestOutputRowsOrderedByNode(t *testing.T) {
+	cl, _ := wordCountCluster(3)
+	out := cl.Run(Job{
+		Name: "pernode",
+		Map: func(node int, m *Meter, emit func(Keyed), outF func(Row)) {
+			outF(Row{rdf.TermID(node)})
+		},
+	})
+	if len(out.PerNode) != 3 {
+		t.Fatalf("PerNode = %d, want 3", len(out.PerNode))
+	}
+	for i, rs := range out.PerNode {
+		if len(rs) != 1 {
+			t.Errorf("node %d output %d rows, want 1", i, len(rs))
+		}
+	}
+}

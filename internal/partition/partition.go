@@ -1,0 +1,184 @@
+// Package partition implements the CliqueSquare data-partitioning scheme
+// of Section 5.1. Every triple is stored three times, exploiting the
+// usual 3× replication of distributed file systems:
+//
+//  1. placed on node hash(s) in the node's subject partition, on node
+//     hash(p) in the property partition, and on node hash(o) in the
+//     object partition;
+//  2. within a node, each partition's triples are grouped into one file
+//     per property value;
+//  3. the property partition of rdf:type is further split by object
+//     (class) value, since rdf:type dominates most datasets.
+//
+// This makes every first-level join — on any of s, p, o — evaluable
+// locally on each node (parallelizable without communication).
+package partition
+
+import (
+	"fmt"
+
+	"cliquesquare/internal/dstore"
+	"cliquesquare/internal/rdf"
+	"cliquesquare/internal/sparql"
+)
+
+// TripleSchema is the column schema of partition files.
+var TripleSchema = []string{"s", "p", "o"}
+
+// Mode selects the replication scheme.
+type Mode uint8
+
+const (
+	// ThreeReplica is the paper's scheme: one replica placed by each
+	// of subject, property and object, so every first-level join is
+	// co-located.
+	ThreeReplica Mode = iota
+	// SubjectOnly stores a single replica placed by subject hash (the
+	// Co-Hadoop-style single-attribute co-location the paper contrasts
+	// with). Only subject-subject first-level joins are co-located.
+	SubjectOnly
+)
+
+// String names the mode.
+func (m Mode) String() string {
+	if m == SubjectOnly {
+		return "subject-only"
+	}
+	return "three-replica"
+}
+
+// Partitioner places an RDF graph onto a store and resolves triple
+// patterns to the partition files a scan must read.
+type Partitioner struct {
+	store *dstore.Store
+	mode  Mode
+	// typeID is the dictionary ID of rdf:type in the loaded graph
+	// (NoTerm if absent).
+	typeID rdf.TermID
+	// properties records every property ID seen, for variable-property
+	// scans.
+	properties map[rdf.TermID]bool
+	// typeObjects records every object ID seen with rdf:type.
+	typeObjects map[rdf.TermID]bool
+}
+
+// Load partitions g across the store's nodes with the paper's
+// three-replica scheme and returns the partitioner for subsequent file
+// resolution.
+func Load(store *dstore.Store, g *rdf.Graph) *Partitioner {
+	return LoadWithMode(store, g, ThreeReplica)
+}
+
+// LoadWithMode partitions g with the chosen replication scheme.
+func LoadWithMode(store *dstore.Store, g *rdf.Graph, mode Mode) *Partitioner {
+	p := &Partitioner{
+		store:       store,
+		mode:        mode,
+		properties:  make(map[rdf.TermID]bool),
+		typeObjects: make(map[rdf.TermID]bool),
+	}
+	if id, ok := g.Dict.Lookup(rdf.NewIRI(sparql.RDFType)); ok {
+		p.typeID = id
+	}
+	n := store.N()
+	for _, t := range g.Triples() {
+		row := dstore.Row{t.S, t.P, t.O}
+		p.properties[t.P] = true
+		store.Node(hash(t.S)%n).Append(FileName(rdf.SPos, t.P, 0), TripleSchema, row)
+		if mode == SubjectOnly {
+			continue
+		}
+		store.Node(hash(t.O)%n).Append(FileName(rdf.OPos, t.P, 0), TripleSchema, row)
+		if p.typeID != rdf.NoTerm && t.P == p.typeID {
+			p.typeObjects[t.O] = true
+			store.Node(hash(t.P)%n).Append(FileName(rdf.PPos, t.P, t.O), TripleSchema, row)
+		} else {
+			store.Node(hash(t.P)%n).Append(FileName(rdf.PPos, t.P, 0), TripleSchema, row)
+		}
+	}
+	return p
+}
+
+// Mode reports the replication scheme in use.
+func (p *Partitioner) Mode() Mode { return p.mode }
+
+// ScanPos resolves the replica position a scan should read: the
+// preferred (co-location) position under three-replica partitioning,
+// always the subject replica under subject-only partitioning.
+func (p *Partitioner) ScanPos(preferred rdf.Pos) rdf.Pos {
+	if p.mode == SubjectOnly {
+		return rdf.SPos
+	}
+	return preferred
+}
+
+// FileName names the partition file for placement position pos and
+// property prop. typeObj is non-zero only for the rdf:type property
+// partition's per-class split.
+func FileName(pos rdf.Pos, prop rdf.TermID, typeObj rdf.TermID) string {
+	if typeObj != rdf.NoTerm {
+		return fmt.Sprintf("%s/p%d/o%d", pos, prop, typeObj)
+	}
+	return fmt.Sprintf("%s/p%d", pos, prop)
+}
+
+// Store returns the underlying file store.
+func (p *Partitioner) Store() *dstore.Store { return p.store }
+
+// TypeID returns the dictionary ID of rdf:type (NoTerm if unseen).
+func (p *Partitioner) TypeID() rdf.TermID { return p.typeID }
+
+// Files resolves the files a scan of pattern tp must read when placed
+// in the replica partitioned on position pos. Patterns with a constant
+// property read that property's file; variable-property patterns read
+// every property file of the partition. In the property partition,
+// rdf:type patterns with a constant object read only that class's
+// split file.
+func (p *Partitioner) Files(tp sparql.TriplePattern, pos rdf.Pos, dict *rdf.Dict) []string {
+	if !tp.P.IsVar {
+		prop, ok := dict.Lookup(tp.P.Term)
+		if !ok {
+			return nil // property absent from the data: empty scan
+		}
+		if pos == rdf.PPos && prop == p.typeID && p.typeID != rdf.NoTerm {
+			if !tp.O.IsVar {
+				obj, ok := dict.Lookup(tp.O.Term)
+				if !ok {
+					return nil
+				}
+				return []string{FileName(pos, prop, obj)}
+			}
+			out := make([]string, 0, len(p.typeObjects))
+			for o := range p.typeObjects {
+				out = append(out, FileName(pos, prop, o))
+			}
+			return out
+		}
+		return []string{FileName(pos, prop, 0)}
+	}
+	// Variable property: read the whole partition.
+	var out []string
+	for prop := range p.properties {
+		if pos == rdf.PPos && prop == p.typeID && p.typeID != rdf.NoTerm {
+			for o := range p.typeObjects {
+				out = append(out, FileName(pos, prop, o))
+			}
+			continue
+		}
+		out = append(out, FileName(pos, prop, 0))
+	}
+	return out
+}
+
+// hash mixes a term ID for node placement (splitmix-style finalizer so
+// consecutive IDs spread across nodes).
+func hash(id rdf.TermID) int {
+	x := uint64(id) * 0x9E3779B97F4A7C15
+	x ^= x >> 29
+	x *= 0xBF58476D1CE4E5B9
+	x ^= x >> 32
+	return int(x % uint64(1<<31))
+}
+
+// NodeFor returns the node index a term hashes to in an n-node cluster.
+func NodeFor(id rdf.TermID, n int) int { return hash(id) % n }

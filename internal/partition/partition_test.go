@@ -1,0 +1,151 @@
+package partition
+
+import (
+	"fmt"
+	"testing"
+
+	"cliquesquare/internal/dstore"
+	"cliquesquare/internal/rdf"
+	"cliquesquare/internal/sparql"
+)
+
+func sampleGraph() *rdf.Graph {
+	g := rdf.NewGraph()
+	for i := 0; i < 20; i++ {
+		g.AddSPO(fmt.Sprintf("s%d", i), "knows", fmt.Sprintf("s%d", (i+1)%20))
+		g.AddSPO(fmt.Sprintf("s%d", i), sparql.RDFType, fmt.Sprintf("Class%d", i%3))
+	}
+	return g
+}
+
+func TestThreeReplicas(t *testing.T) {
+	g := sampleGraph()
+	store := dstore.NewStore(5)
+	Load(store, g)
+	if got, want := store.TotalRows(), 3*g.Len(); got != want {
+		t.Errorf("stored %d rows, want %d (3 replicas)", got, want)
+	}
+}
+
+func TestCoLocationBySubject(t *testing.T) {
+	g := sampleGraph()
+	store := dstore.NewStore(5)
+	Load(store, g)
+	// All triples with the same subject must live on one node's
+	// subject partition.
+	loc := make(map[rdf.TermID]int)
+	for i := 0; i < store.N(); i++ {
+		nd := store.Node(i)
+		for _, name := range nd.Names() {
+			f, _ := nd.Get(name)
+			if name[0] != 's' {
+				continue
+			}
+			for _, row := range f.Rows {
+				if prev, ok := loc[row[0]]; ok && prev != i {
+					t.Fatalf("subject %d on nodes %d and %d", row[0], prev, i)
+				}
+				loc[row[0]] = i
+			}
+		}
+	}
+}
+
+func TestFilesConstantProperty(t *testing.T) {
+	g := sampleGraph()
+	store := dstore.NewStore(3)
+	p := Load(store, g)
+	tp := sparql.MustParse(`SELECT ?a WHERE { ?a <knows> ?b }`).Patterns[0]
+	files := p.Files(tp, rdf.SPos, g.Dict)
+	if len(files) != 1 {
+		t.Fatalf("Files = %v, want one file", files)
+	}
+	// All 20 'knows' triples must be reachable through that file across
+	// nodes.
+	total := 0
+	for i := 0; i < store.N(); i++ {
+		if f, ok := store.Node(i).Get(files[0]); ok {
+			total += len(f.Rows)
+		}
+	}
+	if total != 20 {
+		t.Errorf("knows replica holds %d rows, want 20", total)
+	}
+}
+
+func TestFilesRdfTypeSplit(t *testing.T) {
+	g := sampleGraph()
+	store := dstore.NewStore(3)
+	p := Load(store, g)
+	q := sparql.MustParse(fmt.Sprintf(`SELECT ?a WHERE { ?a <%s> <Class0> }`, sparql.RDFType))
+	tp := q.Patterns[0]
+	// In the property partition, the rdf:type pattern with constant
+	// object resolves to exactly one per-class file.
+	files := p.Files(tp, rdf.PPos, g.Dict)
+	if len(files) != 1 {
+		t.Fatalf("Files = %v, want 1 split file", files)
+	}
+	total := 0
+	for i := 0; i < store.N(); i++ {
+		if f, ok := store.Node(i).Get(files[0]); ok {
+			total += len(f.Rows)
+		}
+	}
+	// Classes are i%3 over 20 subjects: Class0 has 7 members.
+	if total != 7 {
+		t.Errorf("Class0 split holds %d rows, want 7", total)
+	}
+	// With a variable object it must return all class splits.
+	q2 := sparql.MustParse(fmt.Sprintf(`SELECT ?a ?c WHERE { ?a <%s> ?c }`, sparql.RDFType))
+	files = p.Files(q2.Patterns[0], rdf.PPos, g.Dict)
+	if len(files) != 3 {
+		t.Errorf("variable-object rdf:type resolves to %v, want 3 files", files)
+	}
+}
+
+func TestFilesVariableProperty(t *testing.T) {
+	g := sampleGraph()
+	store := dstore.NewStore(3)
+	p := Load(store, g)
+	q := sparql.MustParse(`SELECT ?a ?p WHERE { ?a ?p ?b }`)
+	files := p.Files(q.Patterns[0], rdf.SPos, g.Dict)
+	// Two properties: knows + rdf:type.
+	if len(files) != 2 {
+		t.Errorf("variable property resolves to %v, want 2 files", files)
+	}
+	filesP := p.Files(q.Patterns[0], rdf.PPos, g.Dict)
+	// In the property partition rdf:type is split by class: knows + 3.
+	if len(filesP) != 4 {
+		t.Errorf("variable property over p-partition resolves to %d files, want 4", len(filesP))
+	}
+}
+
+func TestFilesUnknownProperty(t *testing.T) {
+	g := sampleGraph()
+	store := dstore.NewStore(3)
+	p := Load(store, g)
+	q := sparql.MustParse(`SELECT ?a WHERE { ?a <never-seen> ?b }`)
+	if files := p.Files(q.Patterns[0], rdf.SPos, g.Dict); files != nil {
+		t.Errorf("unknown property resolves to %v, want nil", files)
+	}
+}
+
+func TestNodeForStable(t *testing.T) {
+	for id := rdf.TermID(1); id < 100; id++ {
+		if NodeFor(id, 7) != NodeFor(id, 7) {
+			t.Fatal("NodeFor not deterministic")
+		}
+		if n := NodeFor(id, 7); n < 0 || n >= 7 {
+			t.Fatalf("NodeFor out of range: %d", n)
+		}
+	}
+}
+
+func TestFileName(t *testing.T) {
+	if got := FileName(rdf.SPos, 42, 0); got != "s/p42" {
+		t.Errorf("FileName = %q", got)
+	}
+	if got := FileName(rdf.PPos, 42, 7); got != "p/p42/o7" {
+		t.Errorf("FileName = %q", got)
+	}
+}

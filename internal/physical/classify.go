@@ -1,0 +1,243 @@
+// Package physical translates CliqueSquare logical plans into physical
+// MapReduce plans (Section 5.2), groups physical operators into jobs
+// (Section 5.3) and executes them on the mapreduce simulator over data
+// partitioned per Section 5.1.
+//
+// Physical operators follow the paper: Map Scan (MS), Filter (F), Map
+// Join (MJ, a co-located first-level join), Map Shuffler (MF, the
+// repartition phase re-reading a previous job's output), Reduce Join
+// (RJ) and Project (π). Jobs are formed by reduce-join level: every
+// reduce join whose deepest reduce-join descendant chain has length ℓ
+// runs in job ℓ, so independent joins of the same level share one job —
+// the mechanism that lets flat plans run in few jobs.
+package physical
+
+import (
+	"fmt"
+	"strings"
+
+	"cliquesquare/internal/core"
+	"cliquesquare/internal/sparql"
+)
+
+// Kind classifies a physical operator derived from a logical join.
+type Kind uint8
+
+const (
+	// KindScan is a map scan (a logical Match).
+	KindScan Kind = iota
+	// KindMapJoin is a co-located join evaluated map-side: all its
+	// inputs are scans, co-partitioned on the join attribute.
+	KindMapJoin
+	// KindReduceJoin is a repartition join evaluated reduce-side.
+	KindReduceJoin
+)
+
+// String returns the physical operator abbreviation.
+func (k Kind) String() string {
+	switch k {
+	case KindScan:
+		return "MS"
+	case KindMapJoin:
+		return "MJ"
+	case KindReduceJoin:
+		return "RJ"
+	}
+	return fmt.Sprintf("Kind(%d)", uint8(k))
+}
+
+// Info is the physical classification of one logical operator.
+type Info struct {
+	Op   *core.Op
+	Kind Kind
+	ID   int
+	// Level is the reduce-join level (job index, 1-based) for reduce
+	// joins; 0 for scans and map joins.
+	Level int
+}
+
+// Plan is a compiled physical plan: the logical plan plus the physical
+// classification of every operator and the job layout.
+type Plan struct {
+	Logical *core.Plan
+	// Root is the operator under the final projection.
+	Root *core.Op
+	// Infos maps each logical operator (match or join) to its
+	// classification.
+	Infos map[*core.Op]*Info
+	// Levels[ℓ-1] lists the reduce joins of job ℓ in a deterministic
+	// order. Empty iff the plan is map-only.
+	Levels [][]*Info
+}
+
+// CoLocator decides whether a first-level join's scan inputs are
+// co-partitioned (so the join may run map-side). nil means always
+// co-locatable, which holds under the paper's three-replica
+// partitioning for any join variable.
+type CoLocator func(join *core.Op, q *sparql.Query) bool
+
+// SubjectOnlyCoLocator models single-replica subject-hash partitioning
+// (the Co-Hadoop-style baseline): a first-level join is co-located only
+// if some join attribute is the subject variable of every input
+// pattern.
+func SubjectOnlyCoLocator() CoLocator {
+	return func(join *core.Op, q *sparql.Query) bool {
+		for _, v := range join.JoinAttrs {
+			ok := true
+			for _, c := range join.Children {
+				tp := q.Patterns[c.Pattern]
+				if !tp.S.IsVar || tp.S.Var != v {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				return true
+			}
+		}
+		return false
+	}
+}
+
+// Compile classifies p's operators and lays out jobs. Per Section 5.2:
+// a join whose parents (inputs) are all match operators becomes a map
+// join; every other join becomes a reduce join. Reduce joins at the
+// same level share a MapReduce job.
+func Compile(p *core.Plan) (*Plan, error) { return CompileWith(p, nil) }
+
+// CompileWith is Compile under an explicit co-location capability
+// (partitioning-scheme dependent).
+func CompileWith(p *core.Plan, canColocate CoLocator) (*Plan, error) {
+	if p.Root.Kind != core.OpProject || len(p.Root.Children) != 1 {
+		return nil, fmt.Errorf("physical: plan root must be a projection over one operator")
+	}
+	pp := &Plan{Logical: p, Root: p.Root.Children[0], Infos: make(map[*core.Op]*Info)}
+	var walk func(op *core.Op) (*Info, error)
+	walk = func(op *core.Op) (*Info, error) {
+		if in, ok := pp.Infos[op]; ok {
+			return in, nil
+		}
+		in := &Info{Op: op, ID: len(pp.Infos)}
+		pp.Infos[op] = in
+		switch op.Kind {
+		case core.OpMatch:
+			in.Kind = KindScan
+		case core.OpJoin:
+			if len(op.JoinAttrs) == 0 {
+				return nil, fmt.Errorf("physical: join with no join attributes")
+			}
+			allScans := true
+			maxLevel := 0
+			for _, c := range op.Children {
+				ci, err := walk(c)
+				if err != nil {
+					return nil, err
+				}
+				if ci.Kind != KindScan {
+					allScans = false
+				}
+				if ci.Level > maxLevel {
+					maxLevel = ci.Level
+				}
+			}
+			if allScans && (canColocate == nil || canColocate(op, p.Query)) {
+				in.Kind = KindMapJoin
+			} else {
+				in.Kind = KindReduceJoin
+				in.Level = maxLevel + 1
+			}
+		default:
+			return nil, fmt.Errorf("physical: unexpected operator %v below the projection", op.Kind)
+		}
+		return in, nil
+	}
+	ri, err := walk(pp.Root)
+	if err != nil {
+		return nil, err
+	}
+	// Lay reduce joins out by level, in deterministic ID order.
+	if ri.Kind == KindReduceJoin {
+		pp.Levels = make([][]*Info, ri.Level)
+		var lay func(op *core.Op, seen map[*core.Op]bool)
+		seen := make(map[*core.Op]bool)
+		lay = func(op *core.Op, seen map[*core.Op]bool) {
+			if seen[op] {
+				return
+			}
+			seen[op] = true
+			for _, c := range op.Children {
+				lay(c, seen)
+			}
+			if in := pp.Infos[op]; in.Kind == KindReduceJoin {
+				pp.Levels[in.Level-1] = append(pp.Levels[in.Level-1], in)
+			}
+		}
+		lay(pp.Root, seen)
+	}
+	return pp, nil
+}
+
+// MapOnly reports whether the whole plan evaluates in a single map-only
+// job (a PWOC plan for this partitioning).
+func (pp *Plan) MapOnly() bool { return len(pp.Levels) == 0 }
+
+// NumJobs is the number of MapReduce jobs the plan needs.
+func (pp *Plan) NumJobs() int {
+	if pp.MapOnly() {
+		return 1
+	}
+	return len(pp.Levels)
+}
+
+// JobLabel renders the job count in the paper's figure notation: "M"
+// for a map-only plan, otherwise the number of jobs.
+func (pp *Plan) JobLabel() string {
+	if pp.MapOnly() {
+		return "M"
+	}
+	return fmt.Sprintf("%d", len(pp.Levels))
+}
+
+// Describe renders the job layout, one line per job, in the spirit of
+// Figure 15.
+func (pp *Plan) Describe() string {
+	var b strings.Builder
+	if pp.MapOnly() {
+		fmt.Fprintf(&b, "job 1 (map-only): %s\n", pp.describeSubtree(pp.Root))
+		return b.String()
+	}
+	for l, infos := range pp.Levels {
+		fmt.Fprintf(&b, "job %d:", l+1)
+		for _, in := range infos {
+			fmt.Fprintf(&b, " RJ_%s(", strings.Join(in.Op.JoinAttrs, ","))
+			for i, c := range in.Op.Children {
+				if i > 0 {
+					b.WriteString("; ")
+				}
+				ci := pp.Infos[c]
+				if ci.Kind == KindReduceJoin {
+					fmt.Fprintf(&b, "MF[rj%d]", ci.ID)
+				} else {
+					b.WriteString(pp.describeSubtree(c))
+				}
+			}
+			b.WriteString(")")
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+func (pp *Plan) describeSubtree(op *core.Op) string {
+	switch op.Kind {
+	case core.OpMatch:
+		return fmt.Sprintf("MS[t%d]", op.Pattern+1)
+	case core.OpJoin:
+		parts := make([]string, len(op.Children))
+		for i, c := range op.Children {
+			parts[i] = pp.describeSubtree(c)
+		}
+		return fmt.Sprintf("MJ_%s(%s)", strings.Join(op.JoinAttrs, ","), strings.Join(parts, "; "))
+	}
+	return op.Kind.String()
+}

@@ -1,0 +1,301 @@
+package physical
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"cliquesquare/internal/core"
+	"cliquesquare/internal/mapreduce"
+	"cliquesquare/internal/partition"
+	"cliquesquare/internal/rdf"
+	"cliquesquare/internal/sparql"
+)
+
+// Executor runs compiled physical plans on a simulated cluster over
+// partitioned data.
+type Executor struct {
+	Cluster *mapreduce.Cluster
+	Part    *partition.Partitioner
+	Dict    *rdf.Dict
+}
+
+// Result is the outcome of executing one physical plan.
+type Result struct {
+	// Schema is the output column order (the query's SELECT variables).
+	Schema []string
+	// Rows are the distinct result tuples, sorted for determinism.
+	Rows []mapreduce.Row
+	// Jobs are the per-job simulator statistics for this execution.
+	Jobs []mapreduce.JobStats
+	// Time is the simulated response time (sum of job times).
+	Time float64
+	// Work is the simulated total work across nodes.
+	Work float64
+}
+
+// Execute runs pp and returns its deduplicated, sorted results together
+// with the simulated timing. The cluster's job log grows by this plan's
+// jobs; timing in the Result covers only them.
+func (x *Executor) Execute(pp *Plan) (*Result, error) {
+	jobsBefore := len(x.Cluster.Jobs)
+	workBefore := x.Cluster.TotalWork()
+	q := pp.Logical.Query
+
+	var finalRows []mapreduce.Row
+	if pp.MapOnly() {
+		out := x.Cluster.Run(mapreduce.Job{
+			Name: fmt.Sprintf("%s-map-only", q.Name),
+			Map: func(node int, m *mapreduce.Meter, emit func(mapreduce.Keyed), out func(mapreduce.Row)) {
+				rel := x.evalLocal(pp, pp.Root, node, m, "")
+				proj := rel.project(q.Select)
+				m.Check(&x.Cluster.C, len(proj.rows))
+				for _, r := range proj.rows {
+					out(r)
+				}
+			},
+		})
+		finalRows = out.Rows()
+	} else {
+		// interm[info] holds a reduce join's output rows per node,
+		// pre-allocated so empty joins still have empty (not nil)
+		// per-node slices.
+		interm := make(map[*Info][][]mapreduce.Row)
+		byID := make(map[int]*Info)
+		for _, in := range pp.Infos {
+			byID[in.ID] = in
+			if in.Kind == KindReduceJoin {
+				interm[in] = make([][]mapreduce.Row, x.Cluster.N())
+			}
+		}
+		for l, infos := range pp.Levels {
+			level := infos
+			isLast := l == len(pp.Levels)-1
+			out := x.Cluster.Run(mapreduce.Job{
+				Name: fmt.Sprintf("%s-job%d", q.Name, l+1),
+				Map: func(node int, m *mapreduce.Meter, emit func(mapreduce.Keyed), out func(mapreduce.Row)) {
+					for _, rj := range level {
+						for i, c := range rj.Op.Children {
+							ci := pp.Infos[c]
+							var rel relation
+							if ci.Kind == KindReduceJoin {
+								// Map shuffler: re-read the previous
+								// job's output and re-emit re-keyed.
+								rows := interm[ci][node]
+								m.Read(&x.Cluster.C, len(rows))
+								m.Write(&x.Cluster.C, len(rows))
+								rel = relation{schema: c.Attrs, rows: rows}
+							} else {
+								rel = x.evalLocal(pp, c, node, m, rj.Op.JoinAttrs[0])
+							}
+							for _, row := range rel.rows {
+								emit(mapreduce.Keyed{
+									Key: mapreduce.EncodeKey(rj.ID, rel.key(row, rj.Op.JoinAttrs)),
+									Tag: i,
+									Row: row,
+								})
+							}
+						}
+					}
+				},
+				Reduce: func(node int, m *mapreduce.Meter, groups map[string][]mapreduce.Keyed, out func(mapreduce.Row)) {
+					perRJ := make(map[*Info][]relation)
+					for key, recs := range groups {
+						rj := byID[decodeGroup(key)]
+						rels := make([]relation, len(rj.Op.Children))
+						for i, c := range rj.Op.Children {
+							rels[i] = relation{schema: c.Attrs}
+						}
+						for _, rec := range recs {
+							rels[rec.Tag].rows = append(rels[rec.Tag].rows, rec.Row)
+						}
+						joined, counts := naryJoin(rels, rj.Op.JoinAttrs)
+						m.Join(&x.Cluster.C, counts.in+counts.out)
+						m.Write(&x.Cluster.C, counts.out)
+						if len(joined.rows) > 0 {
+							perRJ[rj] = append(perRJ[rj], conform(joined, rj.Op.Attrs))
+						}
+					}
+					for rj, parts := range perRJ {
+						if isLast && rj.Op == pp.Root {
+							for _, rel := range parts {
+								proj := rel.project(q.Select)
+								m.Check(&x.Cluster.C, len(proj.rows))
+								for _, r := range proj.rows {
+									out(r)
+								}
+							}
+							continue
+						}
+						for _, rel := range parts {
+							interm[rj][node] = append(interm[rj][node], rel.rows...)
+						}
+					}
+				},
+			})
+			if isLast {
+				finalRows = out.Rows()
+			}
+		}
+	}
+
+	finalRows = dedupe(finalRows)
+	sortRows(finalRows)
+	res := &Result{
+		Schema: append([]string(nil), q.Select...),
+		Rows:   finalRows,
+		Work:   x.Cluster.TotalWork() - workBefore,
+	}
+	for _, js := range x.Cluster.Jobs[jobsBefore:] {
+		res.Jobs = append(res.Jobs, js)
+		res.Time += js.Time
+	}
+	return res, nil
+}
+
+// evalLocal evaluates a scan or map-join subtree on one node. coVar is
+// the partition variable context for scans: the attribute whose
+// partition replica the scan must read so co-located joins see
+// co-partitioned inputs. Map joins impose their own first join
+// attribute on their children.
+func (x *Executor) evalLocal(pp *Plan, op *core.Op, node int, m *mapreduce.Meter, coVar string) relation {
+	switch op.Kind {
+	case core.OpMatch:
+		return x.scan(pp, op, node, m, coVar)
+	case core.OpJoin:
+		children := make([]relation, len(op.Children))
+		for i, c := range op.Children {
+			children[i] = x.evalLocal(pp, c, node, m, op.JoinAttrs[0])
+		}
+		joined, counts := naryJoin(children, op.JoinAttrs)
+		m.Join(&x.Cluster.C, counts.in+counts.out)
+		m.Write(&x.Cluster.C, counts.out)
+		return conform(joined, op.Attrs)
+	}
+	panic(fmt.Sprintf("physical: evalLocal on %v", op.Kind))
+}
+
+// scan reads one triple pattern's matching tuples from this node's
+// replica partitioned on coVar's position (Section 5.1 file layout),
+// applying the pattern's constant and repeated-variable filters.
+func (x *Executor) scan(pp *Plan, op *core.Op, node int, m *mapreduce.Meter, coVar string) relation {
+	tp := pp.Logical.Query.Patterns[op.Pattern]
+	pos := x.Part.ScanPos(scanPosition(tp, coVar))
+	rel := relation{schema: op.Attrs}
+
+	// Precompute constant checks and variable extraction columns.
+	type constCheck struct {
+		pos rdf.Pos
+		id  rdf.TermID
+	}
+	var consts []constCheck
+	impossible := false
+	for _, p := range []rdf.Pos{rdf.SPos, rdf.PPos, rdf.OPos} {
+		pt := tp.At(p)
+		if pt.IsVar {
+			continue
+		}
+		id, ok := x.Dict.Lookup(pt.Term)
+		if !ok {
+			impossible = true
+			break
+		}
+		consts = append(consts, constCheck{p, id})
+	}
+	if impossible {
+		return rel
+	}
+	varPos := make([]rdf.Pos, len(op.Attrs))
+	var repeats [][2]rdf.Pos
+	for i, a := range op.Attrs {
+		first := rdf.Pos(255)
+		for _, p := range []rdf.Pos{rdf.SPos, rdf.PPos, rdf.OPos} {
+			pt := tp.At(p)
+			if pt.IsVar && pt.Var == a {
+				if first == 255 {
+					first = p
+				} else {
+					repeats = append(repeats, [2]rdf.Pos{first, p})
+				}
+			}
+		}
+		varPos[i] = first
+	}
+
+	nd := x.Cluster.Store.Node(node)
+	needCheck := len(consts) > 0 || len(repeats) > 0
+	for _, fname := range x.Part.Files(tp, pos, x.Dict) {
+		f, ok := nd.Get(fname)
+		if !ok {
+			continue
+		}
+		m.Read(&x.Cluster.C, len(f.Rows))
+		if needCheck {
+			m.Check(&x.Cluster.C, len(f.Rows))
+		}
+	rows:
+		for _, row := range f.Rows {
+			t := rdf.Triple{S: row[0], P: row[1], O: row[2]}
+			for _, cc := range consts {
+				if t.At(cc.pos) != cc.id {
+					continue rows
+				}
+			}
+			for _, rp := range repeats {
+				if t.At(rp[0]) != t.At(rp[1]) {
+					continue rows
+				}
+			}
+			outRow := make(mapreduce.Row, len(varPos))
+			for i, p := range varPos {
+				outRow[i] = t.At(p)
+			}
+			rel.rows = append(rel.rows, outRow)
+		}
+	}
+	return rel
+}
+
+// scanPosition picks the replica a pattern scan reads: the position of
+// the co-partition variable if present, else the first variable
+// position (subject, then object, then property).
+func scanPosition(tp sparql.TriplePattern, coVar string) rdf.Pos {
+	if coVar != "" {
+		for _, p := range []rdf.Pos{rdf.SPos, rdf.PPos, rdf.OPos} {
+			if pt := tp.At(p); pt.IsVar && pt.Var == coVar {
+				return p
+			}
+		}
+	}
+	for _, p := range []rdf.Pos{rdf.SPos, rdf.OPos, rdf.PPos} {
+		if tp.At(p).IsVar {
+			return p
+		}
+	}
+	return rdf.SPos
+}
+
+// decodeGroup extracts the reduce-join ID from a shuffle key built by
+// mapreduce.EncodeKey.
+func decodeGroup(key string) int {
+	return int(binary.LittleEndian.Uint32([]byte(key[:4])))
+}
+
+// conform projects a join output onto the operator's declared schema.
+// Without projection push-down the two coincide (the union of the
+// children's schemas); after core.PushProjections the operator schema
+// may be narrower.
+func conform(rel relation, attrs []string) relation {
+	if len(rel.schema) == len(attrs) {
+		same := true
+		for i := range attrs {
+			if rel.schema[i] != attrs[i] {
+				same = false
+				break
+			}
+		}
+		if same {
+			return rel
+		}
+	}
+	return rel.project(attrs)
+}

@@ -1,0 +1,288 @@
+package physical
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+	"time"
+
+	"cliquesquare/internal/core"
+	"cliquesquare/internal/dstore"
+	"cliquesquare/internal/mapreduce"
+	"cliquesquare/internal/partition"
+	"cliquesquare/internal/rdf"
+	"cliquesquare/internal/refeval"
+	"cliquesquare/internal/sparql"
+	"cliquesquare/internal/vargraph"
+)
+
+// testGraph builds a small social-style graph exercising s-s, s-o and
+// o-o joins, constants, and rdf:type.
+func testGraph() *rdf.Graph {
+	g := rdf.NewGraph()
+	people := []string{"alice", "bob", "carol", "dave", "eve"}
+	for i, p := range people {
+		g.AddSPO(p, sparql.RDFType, "Person")
+		g.AddSPO(p, "livesIn", fmt.Sprintf("city%d", i%2))
+		if i+1 < len(people) {
+			g.AddSPO(p, "knows", people[i+1])
+		}
+		g.AddSPOLit(p, "name", strings.ToUpper(p))
+	}
+	g.AddSPO("alice", "knows", "carol")
+	g.AddSPO("city0", sparql.RDFType, "City")
+	g.AddSPO("city1", sparql.RDFType, "City")
+	return g
+}
+
+// newExec partitions g over n nodes and returns an executor.
+func newExec(g *rdf.Graph, n int) *Executor {
+	store := dstore.NewStore(n)
+	part := partition.Load(store, g)
+	cl := mapreduce.NewCluster(store, mapreduce.DefaultConstants())
+	return &Executor{Cluster: cl, Part: part, Dict: g.Dict}
+}
+
+// runBest optimizes q with MSC, picks the first plan, and executes it.
+func runBest(t *testing.T, x *Executor, q *sparql.Query) (*Result, *Plan) {
+	t.Helper()
+	res, err := core.Optimize(q, core.Options{Method: vargraph.MSC, Timeout: 10 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Unique) == 0 {
+		t.Fatal("no plans")
+	}
+	pp, err := Compile(res.Unique[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := x.Execute(pp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r, pp
+}
+
+// assertMatchesRef compares execution output against the reference
+// evaluator.
+func assertMatchesRef(t *testing.T, g *rdf.Graph, q *sparql.Query, r *Result) {
+	t.Helper()
+	want := refeval.Eval(g, q)
+	if len(r.Rows) != len(want) {
+		t.Fatalf("%s: got %d rows, want %d", q.Name, len(r.Rows), len(want))
+	}
+	for i := range want {
+		for j := range want[i] {
+			if r.Rows[i][j] != want[i][j] {
+				t.Fatalf("%s: row %d = %v, want %v", q.Name, i, r.Rows[i], want[i])
+			}
+		}
+	}
+}
+
+func TestExecuteSinglePattern(t *testing.T) {
+	g := testGraph()
+	x := newExec(g, 4)
+	q := sparql.MustParse(`SELECT ?p WHERE { ?p <knows> ?q }`)
+	r, pp := runBest(t, x, q)
+	if !pp.MapOnly() {
+		t.Errorf("single-pattern plan not map-only: %s", pp.Describe())
+	}
+	assertMatchesRef(t, g, q, r)
+}
+
+func TestExecuteStarMapOnly(t *testing.T) {
+	// A pure subject-star query is PWOC: one map-only job.
+	g := testGraph()
+	x := newExec(g, 4)
+	q := sparql.MustParse(`SELECT ?p ?c WHERE {
+		?p a <Person> . ?p <livesIn> ?c . ?p <knows> ?q }`)
+	r, pp := runBest(t, x, q)
+	if !pp.MapOnly() {
+		t.Errorf("star plan not map-only:\n%s", pp.Describe())
+	}
+	if len(x.Cluster.Jobs) != 1 || !x.Cluster.Jobs[0].MapOnly {
+		t.Errorf("jobs = %+v, want one map-only job", x.Cluster.Jobs)
+	}
+	assertMatchesRef(t, g, q, r)
+}
+
+func TestExecuteTwoPatternChainIsMapOnly(t *testing.T) {
+	// With three-replica partitioning even an s-o join is co-located:
+	// t1 reads the object replica, t2 the subject replica, both hashed
+	// on ?b. This is the paper's "Q1(2|MMM)" behaviour.
+	g := testGraph()
+	x := newExec(g, 4)
+	q := sparql.MustParse(`SELECT ?a ?c WHERE { ?a <knows> ?b . ?b <knows> ?c }`)
+	r, pp := runBest(t, x, q)
+	if !pp.MapOnly() {
+		t.Error("single-level s-o join should be map-only under 3-replica partitioning")
+	}
+	assertMatchesRef(t, g, q, r)
+}
+
+func TestExecuteChainNeedsReduce(t *testing.T) {
+	g := testGraph()
+	x := newExec(g, 4)
+	// Two join levels: the second-level join consumes a map join, so
+	// it must be a reduce join (one MapReduce job with a shuffle).
+	q := sparql.MustParse(`SELECT ?a ?d WHERE { ?a <knows> ?b . ?b <knows> ?c . ?c <knows> ?d }`)
+	r, pp := runBest(t, x, q)
+	if pp.MapOnly() {
+		t.Error("two-level chain executed map-only; it requires a shuffle")
+	}
+	assertMatchesRef(t, g, q, r)
+	if r.Time <= 0 || r.Work <= 0 {
+		t.Errorf("time=%v work=%v, want positive", r.Time, r.Work)
+	}
+}
+
+func TestExecuteWithConstants(t *testing.T) {
+	g := testGraph()
+	x := newExec(g, 4)
+	for _, src := range []string{
+		`SELECT ?p WHERE { ?p <livesIn> <city0> . ?p a <Person> }`,
+		`SELECT ?p WHERE { ?p <name> "ALICE" . ?p <knows> ?q }`,
+		`SELECT ?p ?q WHERE { ?p <knows> ?q . ?q <livesIn> <city1> }`,
+	} {
+		q := sparql.MustParse(src)
+		q.Name = src
+		r, _ := runBest(t, x, q)
+		assertMatchesRef(t, g, q, r)
+		if len(r.Rows) == 0 {
+			t.Errorf("%s: no results; test graph should produce some", src)
+		}
+	}
+}
+
+func TestExecuteEmptyResult(t *testing.T) {
+	g := testGraph()
+	x := newExec(g, 3)
+	q := sparql.MustParse(`SELECT ?p WHERE { ?p <livesIn> <nowhere> . ?p a <Person> }`)
+	r, _ := runBest(t, x, q)
+	if len(r.Rows) != 0 {
+		t.Errorf("got %d rows for impossible constant, want 0", len(r.Rows))
+	}
+}
+
+func TestExecuteVariablePredicate(t *testing.T) {
+	g := testGraph()
+	x := newExec(g, 4)
+	q := sparql.MustParse(`SELECT ?p ?r WHERE { <alice> ?r ?x . ?x ?p ?y }`)
+	r, _ := runBest(t, x, q)
+	assertMatchesRef(t, g, q, r)
+}
+
+func TestAllMSCPlansAgree(t *testing.T) {
+	// Every MSC plan of a 4-pattern query must compute the same result.
+	g := testGraph()
+	q := sparql.MustParse(`SELECT ?a ?c WHERE {
+		?a <knows> ?b . ?b <knows> ?c . ?c <livesIn> ?t . ?a <livesIn> ?t }`)
+	res, err := core.Optimize(q, core.Options{Method: vargraph.MSC})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := refeval.Eval(g, q)
+	for pi, p := range res.Unique {
+		x := newExec(g, 5)
+		pp, err := Compile(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r, err := x.Execute(pp)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(r.Rows) != len(want) {
+			t.Fatalf("plan %d: %d rows, want %d\n%s", pi, len(r.Rows), len(want), p)
+		}
+	}
+}
+
+func TestJobCountEqualsReduceLevels(t *testing.T) {
+	g := testGraph()
+	x := newExec(g, 4)
+	q := sparql.MustParse(`SELECT ?a ?d WHERE { ?a <knows> ?b . ?b <knows> ?c . ?c <knows> ?d }`)
+	_, pp := runBest(t, x, q)
+	if got := len(x.Cluster.Jobs); got != pp.NumJobs() {
+		t.Errorf("executed %d jobs, plan says %d", got, pp.NumJobs())
+	}
+	if pp.JobLabel() == "M" {
+		t.Error("reduce plan labelled map-only")
+	}
+}
+
+func TestDescribeMentionsOperators(t *testing.T) {
+	g := testGraph()
+	_ = g
+	q := sparql.MustParse(`SELECT ?a ?c WHERE {
+		?a <knows> ?b . ?a <livesIn> ?t . ?b <knows> ?c . ?c <livesIn> ?u }`)
+	res, err := core.Optimize(q, core.Options{Method: vargraph.MSC})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pp, err := Compile(res.Unique[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := pp.Describe()
+	if !strings.Contains(d, "RJ_") && !strings.Contains(d, "MJ_") {
+		t.Errorf("description lacks joins:\n%s", d)
+	}
+}
+
+func TestCompileRejectsBadRoot(t *testing.T) {
+	p := &core.Plan{Query: sparql.MustParse(`SELECT ?x WHERE { ?x <p> ?y }`),
+		Root: &core.Op{Kind: core.OpMatch}}
+	if _, err := Compile(p); err == nil {
+		t.Error("Compile accepted a plan without projection root")
+	}
+}
+
+func TestRandomQueriesMatchReference(t *testing.T) {
+	// Property-style test: random small graphs and random connected
+	// chain/star queries must match the reference evaluator.
+	rng := rand.New(rand.NewSource(7))
+	preds := []string{"p0", "p1", "p2"}
+	for iter := 0; iter < 20; iter++ {
+		g := rdf.NewGraph()
+		for i := 0; i < 60; i++ {
+			s := fmt.Sprintf("n%d", rng.Intn(12))
+			o := fmt.Sprintf("n%d", rng.Intn(12))
+			g.AddSPO(s, preds[rng.Intn(len(preds))], o)
+		}
+		var q *sparql.Query
+		if iter%2 == 0 { // chain of length 3
+			q = sparql.MustParse(fmt.Sprintf(
+				`SELECT ?a ?d WHERE { ?a <%s> ?b . ?b <%s> ?c . ?c <%s> ?d }`,
+				preds[rng.Intn(3)], preds[rng.Intn(3)], preds[rng.Intn(3)]))
+		} else { // star with 3 branches
+			q = sparql.MustParse(fmt.Sprintf(
+				`SELECT ?a ?b ?c WHERE { ?x <%s> ?a . ?x <%s> ?b . ?x <%s> ?c }`,
+				preds[rng.Intn(3)], preds[rng.Intn(3)], preds[rng.Intn(3)]))
+		}
+		q.Name = fmt.Sprintf("rand%d", iter)
+		x := newExec(g, 1+rng.Intn(6))
+		r, _ := runBest(t, x, q)
+		want := refeval.Eval(g, q)
+		if len(r.Rows) != len(want) {
+			t.Fatalf("iter %d (%s): got %d rows, want %d", iter, q, len(r.Rows), len(want))
+		}
+	}
+}
+
+func TestDeterministicTiming(t *testing.T) {
+	g := testGraph()
+	q := sparql.MustParse(`SELECT ?a ?c WHERE { ?a <knows> ?b . ?b <knows> ?c }`)
+	var times []float64
+	for i := 0; i < 3; i++ {
+		x := newExec(g, 4)
+		r, _ := runBest(t, x, q)
+		times = append(times, r.Time)
+	}
+	if times[0] != times[1] || times[1] != times[2] {
+		t.Errorf("simulated times differ across runs: %v", times)
+	}
+}

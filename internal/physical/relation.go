@@ -1,0 +1,215 @@
+package physical
+
+import (
+	"sort"
+
+	"cliquesquare/internal/mapreduce"
+)
+
+// relation is a local (per-node or per-group) set of rows under a
+// column schema of variable names.
+type relation struct {
+	schema []string
+	rows   []mapreduce.Row
+}
+
+// col returns the column index of attribute a, or -1.
+func (r *relation) col(a string) int {
+	for i, s := range r.schema {
+		if s == a {
+			return i
+		}
+	}
+	return -1
+}
+
+// key extracts the values of attrs from row as uint32s.
+func (r *relation) key(row mapreduce.Row, attrs []string) []uint32 {
+	out := make([]uint32, len(attrs))
+	for i, a := range attrs {
+		out[i] = uint32(row[r.col(a)])
+	}
+	return out
+}
+
+// joinCounts is the work accounting a join reports back to its caller:
+// tuples processed (inputs) and produced (outputs).
+type joinCounts struct {
+	in, out int
+}
+
+// naryJoin computes the n-ary equality join of children on joinAttrs,
+// additionally enforcing equality on every attribute shared by two or
+// more children (the folded residual selection). The output schema is
+// the sorted union of the child schemas.
+func naryJoin(children []relation, joinAttrs []string) (relation, joinCounts) {
+	var counts joinCounts
+	out := relation{schema: unionSchema(children)}
+	if len(children) == 0 {
+		return out, counts
+	}
+	// Hash every child on the join attributes.
+	tables := make([]map[string][]mapreduce.Row, len(children))
+	for i := range children {
+		tables[i] = make(map[string][]mapreduce.Row, len(children[i].rows))
+		for _, row := range children[i].rows {
+			k := mapreduce.EncodeKey(0, children[i].key(row, joinAttrs))
+			tables[i][k] = append(tables[i][k], row)
+			counts.in++
+		}
+	}
+	// Prepare output column sources and residual equality checks.
+	srcChild, srcCol := columnSources(out.schema, children)
+	checks := residualChecks(out.schema, children, srcChild, srcCol)
+
+	// Iterate the first child's keys; every key present in all children
+	// produces the consistent combinations of the per-child groups.
+	group := make([]mapreduce.Row, len(children))
+	for k, rows0 := range tables[0] {
+		lists := make([][]mapreduce.Row, len(children))
+		lists[0] = rows0
+		ok := true
+		for i := 1; i < len(children); i++ {
+			l, present := tables[i][k]
+			if !present {
+				ok = false
+				break
+			}
+			lists[i] = l
+		}
+		if !ok {
+			continue
+		}
+		combine(lists, 0, group, func() {
+			for _, c := range checks {
+				if group[c.aChild][c.aCol] != group[c.bChild][c.bCol] {
+					return
+				}
+			}
+			row := make(mapreduce.Row, len(out.schema))
+			for i := range out.schema {
+				row[i] = group[srcChild[i]][srcCol[i]]
+			}
+			out.rows = append(out.rows, row)
+			counts.out++
+		})
+	}
+	return out, counts
+}
+
+// combine enumerates the cross product of lists, filling group in
+// place and invoking fn for each full combination.
+func combine(lists [][]mapreduce.Row, i int, group []mapreduce.Row, fn func()) {
+	if i == len(lists) {
+		fn()
+		return
+	}
+	for _, row := range lists[i] {
+		group[i] = row
+		combine(lists, i+1, group, fn)
+	}
+}
+
+// unionSchema returns the sorted union of the children's schemas.
+func unionSchema(children []relation) []string {
+	seen := make(map[string]bool)
+	for i := range children {
+		for _, a := range children[i].schema {
+			seen[a] = true
+		}
+	}
+	out := make([]string, 0, len(seen))
+	for a := range seen {
+		out = append(out, a)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// columnSources picks, for every output column, the first child (and
+// column within it) providing that attribute.
+func columnSources(schema []string, children []relation) (srcChild, srcCol []int) {
+	srcChild = make([]int, len(schema))
+	srcCol = make([]int, len(schema))
+	for i, a := range schema {
+		for ci := range children {
+			if c := children[ci].col(a); c >= 0 {
+				srcChild[i], srcCol[i] = ci, c
+				break
+			}
+		}
+	}
+	return srcChild, srcCol
+}
+
+type eqCheck struct {
+	aChild, aCol, bChild, bCol int
+}
+
+// residualChecks builds the equality checks for attributes provided by
+// several children: each extra provider must agree with the primary
+// source.
+func residualChecks(schema []string, children []relation, srcChild, srcCol []int) []eqCheck {
+	var checks []eqCheck
+	for i, a := range schema {
+		for ci := range children {
+			if ci == srcChild[i] {
+				continue
+			}
+			if c := children[ci].col(a); c >= 0 {
+				checks = append(checks, eqCheck{srcChild[i], srcCol[i], ci, c})
+			}
+		}
+	}
+	return checks
+}
+
+// project returns rows restricted to attrs (which must exist in r's
+// schema), without deduplication.
+func (r *relation) project(attrs []string) relation {
+	cols := make([]int, len(attrs))
+	for i, a := range attrs {
+		cols[i] = r.col(a)
+	}
+	out := relation{schema: append([]string(nil), attrs...)}
+	for _, row := range r.rows {
+		nr := make(mapreduce.Row, len(cols))
+		for i, c := range cols {
+			nr[i] = row[c]
+		}
+		out.rows = append(out.rows, nr)
+	}
+	return out
+}
+
+// dedupe removes duplicate rows (set semantics of BGP evaluation).
+func dedupe(rows []mapreduce.Row) []mapreduce.Row {
+	seen := make(map[string]bool, len(rows))
+	out := rows[:0:0]
+	for _, row := range rows {
+		vals := make([]uint32, len(row))
+		for i, v := range row {
+			vals[i] = uint32(v)
+		}
+		k := mapreduce.EncodeKey(0, vals)
+		if seen[k] {
+			continue
+		}
+		seen[k] = true
+		out = append(out, row)
+	}
+	return out
+}
+
+// sortRows orders rows lexicographically for deterministic output.
+func sortRows(rows []mapreduce.Row) {
+	sort.Slice(rows, func(i, j int) bool {
+		a, b := rows[i], rows[j]
+		for k := 0; k < len(a) && k < len(b); k++ {
+			if a[k] != b[k] {
+				return a[k] < b[k]
+			}
+		}
+		return len(a) < len(b)
+	})
+}

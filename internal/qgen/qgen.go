@@ -1,0 +1,160 @@
+// Package qgen generates synthetic BGP queries for the optimizer-variant
+// comparison of Section 6.2 (Figures 16-19). Following the paper's setup
+// (which uses the generator of Goasdoué et al., PVLDB 2012), queries are
+// chains, stars, or random graphs in a thin (chain-like, few shared
+// variables) or dense (many shared variables) variant, with 1-10 triple
+// patterns.
+package qgen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"cliquesquare/internal/rdf"
+	"cliquesquare/internal/sparql"
+)
+
+// Shape classifies generated query shapes.
+type Shape uint8
+
+const (
+	// Chain queries join pattern i's object to pattern i+1's subject.
+	Chain Shape = iota
+	// Star queries share one central variable across all patterns.
+	Star
+	// Thin random queries are connected with few extra shared
+	// variables (close to chains).
+	Thin
+	// Dense random queries draw variables from a small pool, so
+	// patterns share many variables.
+	Dense
+)
+
+// String names the shape as in the paper's figures.
+func (s Shape) String() string {
+	switch s {
+	case Chain:
+		return "Chain"
+	case Star:
+		return "Star"
+	case Thin:
+		return "Thin"
+	case Dense:
+		return "Dense"
+	}
+	return fmt.Sprintf("Shape(%d)", uint8(s))
+}
+
+// Shapes lists all generator shapes in the paper's column order.
+var Shapes = []Shape{Chain, Dense, Thin, Star}
+
+// Generate builds a query of the given shape with n triple patterns,
+// deterministically from rng. All queries are connected and select one
+// variable.
+func Generate(shape Shape, n int, rng *rand.Rand) *sparql.Query {
+	if n < 1 {
+		n = 1
+	}
+	var q *sparql.Query
+	switch shape {
+	case Chain:
+		q = chain(n)
+	case Star:
+		q = star(n)
+	case Thin:
+		q = thin(n, rng)
+	default:
+		q = dense(n, rng)
+	}
+	q.Name = fmt.Sprintf("%s%d", shape, n)
+	if err := q.Validate(); err != nil {
+		panic(fmt.Sprintf("qgen: generated invalid query: %v", err))
+	}
+	return q
+}
+
+func pred(i int) sparql.PatternTerm {
+	return sparql.Constant(rdf.NewIRI(fmt.Sprintf("http://qgen/p%d", i)))
+}
+
+func v(i int) sparql.PatternTerm { return sparql.Variable(fmt.Sprintf("v%d", i)) }
+
+func chain(n int) *sparql.Query {
+	q := &sparql.Query{Select: []string{"v0"}}
+	for i := 0; i < n; i++ {
+		q.Patterns = append(q.Patterns, sparql.TriplePattern{S: v(i), P: pred(i), O: v(i + 1)})
+	}
+	return q
+}
+
+func star(n int) *sparql.Query {
+	q := &sparql.Query{Select: []string{"v0"}}
+	for i := 0; i < n; i++ {
+		q.Patterns = append(q.Patterns, sparql.TriplePattern{S: v(0), P: pred(i), O: v(i + 1)})
+	}
+	return q
+}
+
+// thin builds a random tree over the variables: mostly a chain with
+// occasional branching, giving few shared variables per pattern.
+func thin(n int, rng *rand.Rand) *sparql.Query {
+	q := &sparql.Query{Select: []string{"v0"}}
+	next := 1
+	for i := 0; i < n; i++ {
+		var s sparql.PatternTerm
+		if i == 0 {
+			s = v(0)
+		} else {
+			// Attach to a recent variable: 3/4 chain-extend, 1/4 branch.
+			if rng.Intn(4) == 0 {
+				s = v(rng.Intn(next))
+			} else {
+				s = v(next - 1)
+			}
+		}
+		q.Patterns = append(q.Patterns, sparql.TriplePattern{S: s, P: pred(i), O: v(next)})
+		next++
+	}
+	return q
+}
+
+// dense draws subjects and objects from a pool of about n/2+1
+// variables, so most variables occur in several patterns.
+func dense(n int, rng *rand.Rand) *sparql.Query {
+	pool := n/2 + 1
+	q := &sparql.Query{Select: []string{"v0"}}
+	used := []int{0}
+	inUsed := map[int]bool{0: true}
+	for i := 0; i < n; i++ {
+		// Keep the query connected: the subject comes from an
+		// already-used variable, the object from anywhere in the pool.
+		s := used[rng.Intn(len(used))]
+		o := rng.Intn(pool + 1)
+		if s == o {
+			o = (o + 1) % (pool + 1)
+		}
+		for _, x := range []int{s, o} {
+			if !inUsed[x] {
+				inUsed[x] = true
+				used = append(used, x)
+			}
+		}
+		q.Patterns = append(q.Patterns, sparql.TriplePattern{S: v(s), P: pred(i), O: v(o)})
+	}
+	return q
+}
+
+// Workload generates the paper's evaluation workload: count queries per
+// shape with sizes cycling over sizes (Section 6.2 uses 30 per shape,
+// 1-10 patterns, average 5.5).
+func Workload(seed int64, perShape int) map[Shape][]*sparql.Query {
+	rng := rand.New(rand.NewSource(seed))
+	out := make(map[Shape][]*sparql.Query)
+	for _, sh := range Shapes {
+		for i := 0; i < perShape; i++ {
+			n := 1 + i%10
+			out[sh] = append(out[sh], Generate(sh, n, rng))
+		}
+	}
+	return out
+}

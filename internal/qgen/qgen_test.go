@@ -1,0 +1,79 @@
+package qgen
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestGenerateAllShapesValid(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, sh := range Shapes {
+		for n := 1; n <= 10; n++ {
+			for rep := 0; rep < 5; rep++ {
+				q := Generate(sh, n, rng)
+				if len(q.Patterns) != n {
+					t.Errorf("%v n=%d: got %d patterns", sh, n, len(q.Patterns))
+				}
+				if err := q.Validate(); err != nil {
+					t.Errorf("%v n=%d: invalid: %v", sh, n, err)
+				}
+			}
+		}
+	}
+}
+
+func TestShapeProperties(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	// Star: one variable occurs in every pattern.
+	st := Generate(Star, 6, rng)
+	for _, tp := range st.Patterns {
+		if !tp.S.IsVar || tp.S.Var != "v0" {
+			t.Errorf("star pattern subject = %v, want ?v0", tp.S)
+		}
+	}
+	// Chain: exactly n-1 join variables.
+	ch := Generate(Chain, 6, rng)
+	if jv := len(ch.JoinVars()); jv != 5 {
+		t.Errorf("chain6 has %d join vars, want 5", jv)
+	}
+	// Dense: fewer distinct variables than thin for the same size, on
+	// average (pool-limited).
+	denseVars, thinVars := 0, 0
+	for i := 0; i < 20; i++ {
+		denseVars += len(Generate(Dense, 8, rng).Vars())
+		thinVars += len(Generate(Thin, 8, rng).Vars())
+	}
+	if denseVars >= thinVars {
+		t.Errorf("dense queries use %d vars total, thin %d; dense should be smaller", denseVars, thinVars)
+	}
+}
+
+func TestWorkloadSizeAndDeterminism(t *testing.T) {
+	w1 := Workload(7, 30)
+	w2 := Workload(7, 30)
+	total := 0
+	for _, sh := range Shapes {
+		if len(w1[sh]) != 30 {
+			t.Errorf("%v: %d queries, want 30", sh, len(w1[sh]))
+		}
+		total += len(w1[sh])
+		for i := range w1[sh] {
+			if w1[sh][i].String() != w2[sh][i].String() {
+				t.Errorf("%v query %d differs across same-seed runs", sh, i)
+			}
+		}
+	}
+	if total != 120 {
+		t.Errorf("workload has %d queries, want 120 (paper's setup)", total)
+	}
+	// Average size 5.5 as in the paper.
+	sum := 0
+	for _, sh := range Shapes {
+		for _, q := range w1[sh] {
+			sum += len(q.Patterns)
+		}
+	}
+	if avg := float64(sum) / float64(total); avg != 5.5 {
+		t.Errorf("average query size = %v, want 5.5", avg)
+	}
+}

@@ -1,0 +1,78 @@
+package rdf
+
+import (
+	"fmt"
+	"sync"
+)
+
+// TermID is a dense integer identifier for a term, assigned by a Dict.
+// ID 0 is never assigned; it is reserved as "no term".
+type TermID uint32
+
+// NoTerm is the zero TermID, never assigned to a real term.
+const NoTerm TermID = 0
+
+// Dict is a bidirectional dictionary between terms and TermIDs.
+// It is safe for concurrent use. The zero value is not usable;
+// construct with NewDict.
+type Dict struct {
+	mu    sync.RWMutex
+	ids   map[string]TermID
+	terms []Term // terms[id-1] is the term for id
+}
+
+// NewDict returns an empty dictionary.
+func NewDict() *Dict {
+	return &Dict{ids: make(map[string]TermID)}
+}
+
+// Encode returns the ID for t, assigning a fresh one if t is new.
+func (d *Dict) Encode(t Term) TermID {
+	k := t.key()
+	d.mu.RLock()
+	id, ok := d.ids[k]
+	d.mu.RUnlock()
+	if ok {
+		return id
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if id, ok = d.ids[k]; ok {
+		return id
+	}
+	d.terms = append(d.terms, t)
+	id = TermID(len(d.terms))
+	d.ids[k] = id
+	return id
+}
+
+// Lookup returns the ID for t if it has been encoded.
+func (d *Dict) Lookup(t Term) (TermID, bool) {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	id, ok := d.ids[t.key()]
+	return id, ok
+}
+
+// Term returns the term for id. It panics if id was never assigned.
+func (d *Dict) Term(id TermID) Term {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	if id == NoTerm || int(id) > len(d.terms) {
+		panic(fmt.Sprintf("rdf: dictionary has no term with id %d", id))
+	}
+	return d.terms[id-1]
+}
+
+// Len reports the number of distinct terms encoded.
+func (d *Dict) Len() int {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return len(d.terms)
+}
+
+// EncodeIRI is shorthand for Encode(NewIRI(v)).
+func (d *Dict) EncodeIRI(v string) TermID { return d.Encode(NewIRI(v)) }
+
+// EncodeLiteral is shorthand for Encode(NewLiteral(v)).
+func (d *Dict) EncodeLiteral(v string) TermID { return d.Encode(NewLiteral(v)) }

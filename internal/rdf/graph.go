@@ -1,0 +1,56 @@
+package rdf
+
+// Graph is an in-memory RDF dataset: a dictionary plus a set of encoded
+// triples. Duplicate triples are stored once.
+type Graph struct {
+	Dict    *Dict
+	triples []Triple
+	seen    map[Triple]struct{}
+}
+
+// NewGraph returns an empty graph with a fresh dictionary.
+func NewGraph() *Graph {
+	return &Graph{Dict: NewDict(), seen: make(map[Triple]struct{})}
+}
+
+// Add inserts an encoded triple, ignoring duplicates.
+// It reports whether the triple was new.
+func (g *Graph) Add(t Triple) bool {
+	if _, dup := g.seen[t]; dup {
+		return false
+	}
+	g.seen[t] = struct{}{}
+	g.triples = append(g.triples, t)
+	return true
+}
+
+// AddTerms encodes the three terms and inserts the resulting triple.
+func (g *Graph) AddTerms(s, p, o Term) Triple {
+	t := Triple{g.Dict.Encode(s), g.Dict.Encode(p), g.Dict.Encode(o)}
+	g.Add(t)
+	return t
+}
+
+// AddSPO encodes subject and property as IRIs and the object as an IRI,
+// a convenience for building test and example graphs.
+func (g *Graph) AddSPO(s, p, o string) Triple {
+	return g.AddTerms(NewIRI(s), NewIRI(p), NewIRI(o))
+}
+
+// AddSPOLit is AddSPO with a literal object.
+func (g *Graph) AddSPOLit(s, p, o string) Triple {
+	return g.AddTerms(NewIRI(s), NewIRI(p), NewLiteral(o))
+}
+
+// Contains reports whether the graph holds the triple.
+func (g *Graph) Contains(t Triple) bool {
+	_, ok := g.seen[t]
+	return ok
+}
+
+// Len reports the number of distinct triples.
+func (g *Graph) Len() int { return len(g.triples) }
+
+// Triples returns the triples in insertion order. The returned slice is
+// owned by the graph and must not be modified.
+func (g *Graph) Triples() []Triple { return g.triples }

@@ -1,0 +1,80 @@
+// Package rdf provides the RDF data model used throughout CliqueSquare:
+// terms (IRIs, literals, blank nodes), triples, dictionary encoding of
+// terms to dense integer IDs, an in-memory graph, and an N-Triples-style
+// parser and serializer.
+//
+// The runtime representation is deliberately flat: a term is a TermID
+// (uint32) assigned by a Dict, and a triple is three TermIDs. All query
+// processing operates on IDs; strings only appear at the input/output
+// boundary.
+package rdf
+
+import "fmt"
+
+// TermKind distinguishes the three kinds of RDF terms.
+type TermKind uint8
+
+const (
+	// IRI is a Unique Resource Identifier, written <...> in N-Triples.
+	IRI TermKind = iota
+	// Literal is a constant value, written "..." in N-Triples.
+	Literal
+	// Blank is a blank node, written _:label in N-Triples.
+	Blank
+)
+
+// String returns the kind name.
+func (k TermKind) String() string {
+	switch k {
+	case IRI:
+		return "iri"
+	case Literal:
+		return "literal"
+	case Blank:
+		return "blank"
+	}
+	return fmt.Sprintf("TermKind(%d)", uint8(k))
+}
+
+// Term is a decoded RDF term: a kind plus its lexical value (without
+// surrounding <>, "" or _: markers).
+type Term struct {
+	Kind  TermKind
+	Value string
+}
+
+// NewIRI returns an IRI term.
+func NewIRI(v string) Term { return Term{Kind: IRI, Value: v} }
+
+// NewLiteral returns a literal term.
+func NewLiteral(v string) Term { return Term{Kind: Literal, Value: v} }
+
+// NewBlank returns a blank-node term.
+func NewBlank(v string) Term { return Term{Kind: Blank, Value: v} }
+
+// String renders the term in N-Triples syntax.
+func (t Term) String() string {
+	switch t.Kind {
+	case IRI:
+		return "<" + t.Value + ">"
+	case Literal:
+		return `"` + t.Value + `"`
+	case Blank:
+		return "_:" + t.Value
+	}
+	return t.Value
+}
+
+// key returns the dictionary key for the term. Kinds live in disjoint
+// namespaces so an IRI and a literal with the same lexical value encode
+// to different IDs.
+func (t Term) key() string {
+	switch t.Kind {
+	case IRI:
+		return "i" + t.Value
+	case Literal:
+		return "l" + t.Value
+	default:
+		return "b" + t.Value
+	}
+}

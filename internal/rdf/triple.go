@@ -1,0 +1,45 @@
+package rdf
+
+import "fmt"
+
+// Triple is a dictionary-encoded RDF triple (subject, property, object).
+type Triple struct {
+	S, P, O TermID
+}
+
+// Pos identifies one of the three positions of a triple.
+type Pos uint8
+
+const (
+	// SPos is the subject position.
+	SPos Pos = iota
+	// PPos is the property (predicate) position.
+	PPos
+	// OPos is the object position.
+	OPos
+)
+
+// String returns the position name ("s", "p" or "o").
+func (p Pos) String() string {
+	switch p {
+	case SPos:
+		return "s"
+	case PPos:
+		return "p"
+	case OPos:
+		return "o"
+	}
+	return fmt.Sprintf("Pos(%d)", uint8(p))
+}
+
+// At returns the term in position pos.
+func (t Triple) At(pos Pos) TermID {
+	switch pos {
+	case SPos:
+		return t.S
+	case PPos:
+		return t.P
+	default:
+		return t.O
+	}
+}

@@ -1,0 +1,85 @@
+// Package refeval is a deliberately naive reference evaluator for BGP
+// queries over an in-memory RDF graph: backtracking over triple
+// patterns with no indexes or optimization. It defines ground truth for
+// testing every other execution path in the repository.
+package refeval
+
+import (
+	"sort"
+
+	"cliquesquare/internal/rdf"
+	"cliquesquare/internal/sparql"
+)
+
+// Eval returns the distinct bindings of q's SELECT variables over g,
+// sorted lexicographically. Each row's columns follow q.Select order.
+func Eval(g *rdf.Graph, q *sparql.Query) [][]rdf.TermID {
+	bindings := make(map[string]rdf.TermID)
+	seen := make(map[string]bool)
+	var out [][]rdf.TermID
+
+	var rec func(i int)
+	rec = func(i int) {
+		if i == len(q.Patterns) {
+			row := make([]rdf.TermID, len(q.Select))
+			key := make([]byte, 0, 4*len(row))
+			for j, v := range q.Select {
+				row[j] = bindings[v]
+				key = append(key, byte(row[j]), byte(row[j]>>8), byte(row[j]>>16), byte(row[j]>>24))
+			}
+			if k := string(key); !seen[k] {
+				seen[k] = true
+				out = append(out, row)
+			}
+			return
+		}
+		tp := q.Patterns[i]
+		for _, t := range g.Triples() {
+			var bound []string
+			ok := true
+			for _, pc := range []struct {
+				pt  sparql.PatternTerm
+				val rdf.TermID
+			}{{tp.S, t.S}, {tp.P, t.P}, {tp.O, t.O}} {
+				if !pc.pt.IsVar {
+					id, found := g.Dict.Lookup(pc.pt.Term)
+					if !found || id != pc.val {
+						ok = false
+						break
+					}
+					continue
+				}
+				if v, already := bindings[pc.pt.Var]; already {
+					if v != pc.val {
+						ok = false
+						break
+					}
+					continue
+				}
+				bindings[pc.pt.Var] = pc.val
+				bound = append(bound, pc.pt.Var)
+			}
+			if ok {
+				rec(i + 1)
+			}
+			for _, v := range bound {
+				delete(bindings, v)
+			}
+		}
+	}
+	rec(0)
+
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		for k := range a {
+			if a[k] != b[k] {
+				return a[k] < b[k]
+			}
+		}
+		return false
+	})
+	return out
+}
+
+// Count returns the number of distinct result tuples.
+func Count(g *rdf.Graph, q *sparql.Query) int { return len(Eval(g, q)) }

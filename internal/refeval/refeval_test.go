@@ -1,0 +1,82 @@
+package refeval
+
+import (
+	"testing"
+
+	"cliquesquare/internal/rdf"
+	"cliquesquare/internal/sparql"
+)
+
+func graph() *rdf.Graph {
+	g := rdf.NewGraph()
+	g.AddSPO("a", "p", "b")
+	g.AddSPO("b", "p", "c")
+	g.AddSPO("c", "p", "a")
+	g.AddSPO("a", "q", "x")
+	g.AddSPOLit("a", "name", "A")
+	return g
+}
+
+func TestEvalChain(t *testing.T) {
+	g := graph()
+	q := sparql.MustParse(`SELECT ?x ?z WHERE { ?x <p> ?y . ?y <p> ?z }`)
+	rows := Eval(g, q)
+	if len(rows) != 3 {
+		t.Fatalf("got %d rows, want 3 (cycle of length 3)", len(rows))
+	}
+}
+
+func TestEvalConstant(t *testing.T) {
+	g := graph()
+	q := sparql.MustParse(`SELECT ?x WHERE { ?x <name> "A" . ?x <q> ?v }`)
+	if n := Count(g, q); n != 1 {
+		t.Errorf("Count = %d, want 1", n)
+	}
+	q2 := sparql.MustParse(`SELECT ?x WHERE { ?x <name> "Z" . ?x <q> ?v }`)
+	if n := Count(g, q2); n != 0 {
+		t.Errorf("Count = %d, want 0", n)
+	}
+}
+
+func TestEvalRepeatedVariable(t *testing.T) {
+	g := rdf.NewGraph()
+	g.AddSPO("a", "p", "a")
+	g.AddSPO("a", "p", "b")
+	q := &sparql.Query{Select: []string{"x"}, Patterns: []sparql.TriplePattern{{
+		S: sparql.Variable("x"), P: sparql.Constant(rdf.NewIRI("p")), O: sparql.Variable("x"),
+	}}}
+	if n := Count(g, q); n != 1 {
+		t.Errorf("Count(?x p ?x) = %d, want 1", n)
+	}
+}
+
+func TestEvalDeduplicatesProjection(t *testing.T) {
+	g := graph()
+	// ?x bound three times, projected alone: distinct subjects of p.
+	q := sparql.MustParse(`SELECT ?y WHERE { ?x <p> ?y }`)
+	if n := Count(g, q); n != 3 {
+		t.Errorf("Count = %d, want 3", n)
+	}
+}
+
+func TestEvalSortedDeterministic(t *testing.T) {
+	g := graph()
+	q := sparql.MustParse(`SELECT ?x ?y WHERE { ?x <p> ?y }`)
+	a := Eval(g, q)
+	b := Eval(g, q)
+	if len(a) != len(b) {
+		t.Fatal("nondeterministic result size")
+	}
+	for i := range a {
+		for j := range a[i] {
+			if a[i][j] != b[i][j] {
+				t.Fatal("nondeterministic ordering")
+			}
+		}
+	}
+	for i := 1; i < len(a); i++ {
+		if a[i-1][0] > a[i][0] {
+			t.Fatal("rows not sorted")
+		}
+	}
+}

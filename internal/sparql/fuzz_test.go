@@ -1,0 +1,78 @@
+package sparql
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+// TestParseNeverPanics throws random byte soup and random mutations of
+// a valid query at the parser; it must return errors, never panic.
+func TestParseNeverPanics(t *testing.T) {
+	f := func(s string) bool {
+		_, _ = Parse(s) // must not panic
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+
+	valid := `PREFIX ub: <http://x/> SELECT ?a ?b WHERE { ?a ub:p ?b . ?b <q> "lit" . ?b a ub:C }`
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 500; i++ {
+		b := []byte(valid)
+		for k := 0; k < 1+rng.Intn(4); k++ {
+			switch rng.Intn(3) {
+			case 0: // delete a byte
+				if len(b) > 1 {
+					p := rng.Intn(len(b))
+					b = append(b[:p], b[p+1:]...)
+				}
+			case 1: // flip a byte
+				b[rng.Intn(len(b))] = byte(rng.Intn(128))
+			case 2: // duplicate a chunk
+				p := rng.Intn(len(b))
+				b = append(b[:p], append([]byte(string(b[p:min(p+5, len(b))])), b[p:]...)...)
+			}
+		}
+		_, _ = Parse(string(b)) // must not panic
+	}
+}
+
+// TestParseRoundTripProperty: any query that parses renders (String)
+// to something that reparses to the same rendering.
+func TestParseRoundTripProperty(t *testing.T) {
+	srcs := []string{
+		`SELECT ?a WHERE { ?a <p> ?b }`,
+		`SELECT ?a ?c WHERE { ?a <p> ?b . ?b <q> ?c . ?a <r> "x y z" }`,
+		`PREFIX u: <http://u/> SELECT ?x WHERE { ?x a u:T . ?x u:p ?y }`,
+		`SELECT ?s ?o WHERE { ?s ?p ?o . ?o <q> ?z }`,
+	}
+	for _, src := range srcs {
+		q, err := Parse(src)
+		if err != nil {
+			t.Fatalf("%s: %v", src, err)
+		}
+		q2, err := Parse(q.String())
+		if err != nil {
+			t.Fatalf("reparse %q: %v", q.String(), err)
+		}
+		if q2.String() != q.String() {
+			t.Errorf("round trip unstable:\n%s\n%s", q.String(), q2.String())
+		}
+	}
+}
+
+func TestTokenizerHandlesControlBytes(t *testing.T) {
+	for _, s := range []string{"\x00", "SELECT \x01 ?a", strings.Repeat("{", 100), "\""} {
+		_, _ = Parse(s)
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,259 @@
+package sparql
+
+import (
+	"fmt"
+	"strings"
+
+	"cliquesquare/internal/rdf"
+)
+
+// RDFType is the IRI abbreviated by the SPARQL keyword "a".
+const RDFType = "http://www.w3.org/1999/02/22-rdf-syntax-ns#type"
+
+// Parse parses a BGP SPARQL query of the form
+//
+//	PREFIX pre: <iri> ...
+//	SELECT ?v1 ... ?vm WHERE { t1 . t2 . ... tn }
+//
+// Each triple pattern position may be a ?variable, an <iri>, a
+// prefixed:name (expanded via PREFIX declarations), the keyword a
+// (rdf:type), or a "literal". Keywords are case-insensitive.
+func Parse(src string) (*Query, error) {
+	p := &parser{toks: tokenize(src), prefixes: map[string]string{}}
+	return p.parseQuery()
+}
+
+// MustParse is Parse that panics on error; intended for tests, examples
+// and static workload definitions.
+func MustParse(src string) *Query {
+	q, err := Parse(src)
+	if err != nil {
+		panic(err)
+	}
+	return q
+}
+
+type token struct {
+	kind string // "word", "var", "iri", "lit", "punct"
+	text string
+}
+
+func tokenize(src string) []token {
+	var toks []token
+	i := 0
+	for i < len(src) {
+		c := src[i]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			i++
+		case c == '#': // comment to end of line
+			for i < len(src) && src[i] != '\n' {
+				i++
+			}
+		case c == '{' || c == '}' || c == '.' || c == ';':
+			toks = append(toks, token{"punct", string(c)})
+			i++
+		case c == '?' || c == '$':
+			j := i + 1
+			for j < len(src) && isNameByte(src[j]) {
+				j++
+			}
+			toks = append(toks, token{"var", src[i+1 : j]})
+			i = j
+		case c == '<':
+			j := strings.IndexByte(src[i:], '>')
+			if j < 0 {
+				toks = append(toks, token{"err", src[i:]})
+				return toks
+			}
+			toks = append(toks, token{"iri", src[i+1 : i+j]})
+			i += j + 1
+		case c == '"':
+			j := i + 1
+			var b strings.Builder
+			for j < len(src) && src[j] != '"' {
+				if src[j] == '\\' && j+1 < len(src) {
+					b.WriteByte(src[j+1])
+					j += 2
+					continue
+				}
+				b.WriteByte(src[j])
+				j++
+			}
+			if j >= len(src) {
+				toks = append(toks, token{"err", src[i:]})
+				return toks
+			}
+			toks = append(toks, token{"lit", b.String()})
+			i = j + 1
+		default:
+			j := i
+			for j < len(src) && isWordByte(src[j]) {
+				j++
+			}
+			if j == i { // unknown byte
+				toks = append(toks, token{"err", string(c)})
+				return toks
+			}
+			toks = append(toks, token{"word", src[i:j]})
+			i = j
+		}
+	}
+	return toks
+}
+
+func isNameByte(c byte) bool {
+	return c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c >= '0' && c <= '9' || c == '_'
+}
+
+func isWordByte(c byte) bool {
+	return isNameByte(c) || c == ':' || c == '-' || c == '/' || c == '\''
+}
+
+type parser struct {
+	toks     []token
+	pos      int
+	prefixes map[string]string
+}
+
+func (p *parser) peek() (token, bool) {
+	if p.pos >= len(p.toks) {
+		return token{}, false
+	}
+	return p.toks[p.pos], true
+}
+
+func (p *parser) next() (token, bool) {
+	t, ok := p.peek()
+	if ok {
+		p.pos++
+	}
+	return t, ok
+}
+
+func (p *parser) errf(format string, args ...any) error {
+	return fmt.Errorf("sparql: %s (at token %d)", fmt.Sprintf(format, args...), p.pos)
+}
+
+func (p *parser) parseQuery() (*Query, error) {
+	q := &Query{}
+	// PREFIX declarations.
+	for {
+		t, ok := p.peek()
+		if !ok {
+			return nil, p.errf("empty query")
+		}
+		if t.kind == "word" && strings.EqualFold(t.text, "PREFIX") {
+			p.next()
+			name, ok := p.next()
+			if !ok || name.kind != "word" || !strings.HasSuffix(name.text, ":") {
+				return nil, p.errf("PREFIX expects a name ending in ':'")
+			}
+			iri, ok := p.next()
+			if !ok || iri.kind != "iri" {
+				return nil, p.errf("PREFIX %s expects an <iri>", name.text)
+			}
+			p.prefixes[strings.TrimSuffix(name.text, ":")] = iri.text
+			continue
+		}
+		break
+	}
+	// SELECT clause.
+	t, ok := p.next()
+	if !ok || t.kind != "word" || !strings.EqualFold(t.text, "SELECT") {
+		return nil, p.errf("expected SELECT, found %q", t.text)
+	}
+	for {
+		t, ok := p.peek()
+		if !ok {
+			return nil, p.errf("unexpected end of query in SELECT clause")
+		}
+		if t.kind == "var" {
+			p.next()
+			q.Select = append(q.Select, t.text)
+			continue
+		}
+		if t.kind == "word" && t.text == "*" {
+			return nil, p.errf("SELECT * is not supported; list variables explicitly")
+		}
+		break
+	}
+	if len(q.Select) == 0 {
+		return nil, p.errf("SELECT lists no variables")
+	}
+	// WHERE { patterns }.
+	t, ok = p.next()
+	if ok && t.kind == "word" && strings.EqualFold(t.text, "WHERE") {
+		t, ok = p.next()
+	}
+	if !ok || t.kind != "punct" || t.text != "{" {
+		return nil, p.errf("expected '{', found %q", t.text)
+	}
+	for {
+		t, ok := p.peek()
+		if !ok {
+			return nil, p.errf("unterminated WHERE clause")
+		}
+		if t.kind == "punct" && t.text == "}" {
+			p.next()
+			break
+		}
+		tp, err := p.parsePattern()
+		if err != nil {
+			return nil, err
+		}
+		q.Patterns = append(q.Patterns, tp)
+		if t, ok := p.peek(); ok && t.kind == "punct" && t.text == "." {
+			p.next()
+		}
+	}
+	if t, ok := p.peek(); ok {
+		return nil, p.errf("trailing input after '}': %q", t.text)
+	}
+	if err := q.Validate(); err != nil {
+		return nil, err
+	}
+	return q, nil
+}
+
+func (p *parser) parsePattern() (TriplePattern, error) {
+	var terms [3]PatternTerm
+	for i := 0; i < 3; i++ {
+		t, ok := p.next()
+		if !ok {
+			return TriplePattern{}, p.errf("triple pattern truncated")
+		}
+		pt, err := p.term(t, i == 1)
+		if err != nil {
+			return TriplePattern{}, err
+		}
+		terms[i] = pt
+	}
+	return TriplePattern{S: terms[0], P: terms[1], O: terms[2]}, nil
+}
+
+func (p *parser) term(t token, predicatePos bool) (PatternTerm, error) {
+	switch t.kind {
+	case "var":
+		return Variable(t.text), nil
+	case "iri":
+		return Constant(rdf.NewIRI(t.text)), nil
+	case "lit":
+		return Constant(rdf.NewLiteral(t.text)), nil
+	case "word":
+		if predicatePos && t.text == "a" {
+			return Constant(rdf.NewIRI(RDFType)), nil
+		}
+		if k := strings.IndexByte(t.text, ':'); k >= 0 {
+			pre, local := t.text[:k], t.text[k+1:]
+			base, ok := p.prefixes[pre]
+			if !ok {
+				return PatternTerm{}, p.errf("undeclared prefix %q in %q", pre, t.text)
+			}
+			return Constant(rdf.NewIRI(base + local)), nil
+		}
+		return PatternTerm{}, p.errf("unexpected word %q in triple pattern", t.text)
+	default:
+		return PatternTerm{}, p.errf("bad token %q in triple pattern", t.text)
+	}
+}

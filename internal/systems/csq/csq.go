@@ -1,0 +1,147 @@
+// Package csq wires the full CliqueSquare prototype ("CSQ" in Section
+// 6): data partitioned per Section 5.1, logical optimization with a
+// CliqueSquare variant (MSC by default), plan selection with the
+// Section 5.4 cost model, translation to physical plans and execution
+// as MapReduce jobs on the simulator.
+package csq
+
+import (
+	"fmt"
+	"time"
+
+	"cliquesquare/internal/core"
+	"cliquesquare/internal/cost"
+	"cliquesquare/internal/dstore"
+	"cliquesquare/internal/mapreduce"
+	"cliquesquare/internal/partition"
+	"cliquesquare/internal/physical"
+	"cliquesquare/internal/rdf"
+	"cliquesquare/internal/sparql"
+	"cliquesquare/internal/systems"
+	"cliquesquare/internal/vargraph"
+)
+
+// Config parameterizes the engine.
+type Config struct {
+	// Nodes is the simulated cluster size (the paper uses 7).
+	Nodes int
+	// Constants are the simulator cost constants.
+	Constants mapreduce.Constants
+	// Method is the optimizer variant (MSC recommended).
+	Method vargraph.Method
+	// MaxPlans / MaxCoversPerStep / Timeout bound optimization, like
+	// the paper's 100 s timeout.
+	MaxPlans         int
+	MaxCoversPerStep int
+	Timeout          time.Duration
+	// NoProjectionPushdown disables the Section 4.2 projection
+	// push-down rewrite (useful for the shuffle-volume ablation).
+	NoProjectionPushdown bool
+	// Partitioning selects the replication scheme; the default is the
+	// paper's three-replica layout. SubjectOnly is the single-replica
+	// ablation: only s-s first-level joins stay map-side.
+	Partitioning partition.Mode
+}
+
+// DefaultConfig mirrors the paper's setup: 7 nodes, MSC.
+func DefaultConfig() Config {
+	return Config{
+		Nodes:            7,
+		Constants:        mapreduce.DefaultConstants(),
+		Method:           vargraph.MSC,
+		MaxPlans:         20000,
+		MaxCoversPerStep: 5000,
+		Timeout:          100 * time.Second,
+	}
+}
+
+// Engine is a loaded CSQ instance.
+type Engine struct {
+	cfg   Config
+	graph *rdf.Graph
+	store *dstore.Store
+	part  *partition.Partitioner
+}
+
+// New partitions g across the configured cluster and returns the
+// engine.
+func New(g *rdf.Graph, cfg Config) *Engine {
+	store := dstore.NewStore(cfg.Nodes)
+	return &Engine{
+		cfg:   cfg,
+		graph: g,
+		store: store,
+		part:  partition.LoadWithMode(store, g, cfg.Partitioning),
+	}
+}
+
+// Name implements systems.System.
+func (e *Engine) Name() string { return "CSQ" }
+
+// Graph returns the loaded dataset.
+func (e *Engine) Graph() *rdf.Graph { return e.graph }
+
+// Plan optimizes q and returns the cost-selected logical plan, its
+// physical compilation, and the optimizer result (for plan-space
+// statistics).
+func (e *Engine) Plan(q *sparql.Query) (*core.Plan, *physical.Plan, *core.Result, error) {
+	res, err := core.Optimize(q, core.Options{
+		Method:           e.cfg.Method,
+		MaxPlans:         e.cfg.MaxPlans,
+		MaxCoversPerStep: e.cfg.MaxCoversPerStep,
+		Timeout:          e.cfg.Timeout,
+	})
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	if len(res.Unique) == 0 {
+		return nil, nil, nil, fmt.Errorf("csq: %s produced no plan for %s", e.cfg.Method, q.Name)
+	}
+	model := cost.NewModel(e.cfg.Constants, cost.NewStats(e.graph, q))
+	best := model.Choose(res.Unique)
+	if !e.cfg.NoProjectionPushdown {
+		best = core.PushProjections(best)
+	}
+	var caps physical.CoLocator
+	if e.cfg.Partitioning == partition.SubjectOnly {
+		caps = physical.SubjectOnlyCoLocator()
+	}
+	pp, err := physical.CompileWith(best, caps)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	return best, pp, res, nil
+}
+
+// ExecutePlan runs an already-compiled plan on a fresh cluster clock.
+func (e *Engine) ExecutePlan(pp *physical.Plan) (*physical.Result, error) {
+	cl := mapreduce.NewCluster(e.store, e.cfg.Constants)
+	x := &physical.Executor{Cluster: cl, Part: e.part, Dict: e.graph.Dict}
+	return x.Execute(pp)
+}
+
+// Run implements systems.System: optimize, select, execute.
+func (e *Engine) Run(q *sparql.Query) (*systems.RunResult, error) {
+	_, pp, _, err := e.Plan(q)
+	if err != nil {
+		return nil, err
+	}
+	r, err := e.ExecutePlan(pp)
+	if err != nil {
+		return nil, err
+	}
+	out := &systems.RunResult{
+		System: e.Name(),
+		Query:  q.Name,
+		Rows:   len(r.Rows),
+		Time:   r.Time,
+		Work:   r.Work,
+		Jobs:   len(r.Jobs),
+	}
+	for _, j := range r.Jobs {
+		if j.MapOnly {
+			out.MapOnlyJobs++
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,360 @@
+// Package h2rdfsim simulates H2RDF+ (Papailiou et al., IEEE BigData
+// 2013), the second baseline of Section 6.4: globally sorted
+// six-permutation indexes (HBase tables in the original), adaptive
+// centralized execution for very selective queries (0 MapReduce jobs),
+// and otherwise greedy LEFT-DEEP plans executing one join per MapReduce
+// job — the maximal-height, job-heavy behaviour the paper contrasts
+// with CliqueSquare's flat plans.
+package h2rdfsim
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"cliquesquare/internal/cost"
+	"cliquesquare/internal/dstore"
+	"cliquesquare/internal/index"
+	"cliquesquare/internal/mapreduce"
+	"cliquesquare/internal/rdf"
+	"cliquesquare/internal/sparql"
+	"cliquesquare/internal/systems"
+)
+
+// Config parameterizes the simulator.
+type Config struct {
+	Nodes     int
+	Constants mapreduce.Constants
+	// CentralThreshold: when every estimated intermediate result of
+	// the left-deep plan stays below it, the query runs centrally on
+	// one node with index lookups and no MapReduce job.
+	CentralThreshold float64
+}
+
+// DefaultConfig is a 7-node cluster with a 2000-tuple centralized
+// threshold.
+func DefaultConfig() Config {
+	return Config{Nodes: 7, Constants: mapreduce.DefaultConstants(), CentralThreshold: 2000}
+}
+
+// Engine is a loaded H2RDF+ instance.
+type Engine struct {
+	cfg   Config
+	graph *rdf.Graph
+	idx   *index.Store
+}
+
+// New indexes g globally (six permutations).
+func New(g *rdf.Graph, cfg Config) *Engine {
+	return &Engine{cfg: cfg, graph: g, idx: index.Build(g.Triples())}
+}
+
+// Name implements systems.System.
+func (e *Engine) Name() string { return "H2RDF+" }
+
+// planOrder returns a greedy left-deep pattern order: start from the
+// most selective pattern, then repeatedly append the most selective
+// pattern connected to the prefix.
+func planOrder(q *sparql.Query, s *cost.Stats) []int {
+	n := len(q.Patterns)
+	used := make([]bool, n)
+	order := make([]int, 0, n)
+	varsSeen := make(map[string]bool)
+	pick := func(candidates []int) int {
+		best, bestCard := -1, math.Inf(1)
+		for _, i := range candidates {
+			if c := s.PatternCard(i); c < bestCard {
+				best, bestCard = i, c
+			}
+		}
+		return best
+	}
+	all := make([]int, n)
+	for i := range all {
+		all[i] = i
+	}
+	first := pick(all)
+	order = append(order, first)
+	used[first] = true
+	for _, v := range q.Patterns[first].Vars() {
+		varsSeen[v] = true
+	}
+	for len(order) < n {
+		var conn []int
+		for i := 0; i < n; i++ {
+			if used[i] {
+				continue
+			}
+			for _, v := range q.Patterns[i].Vars() {
+				if varsSeen[v] {
+					conn = append(conn, i)
+					break
+				}
+			}
+		}
+		nxt := pick(conn)
+		if nxt < 0 {
+			break // disconnected query; caller validates
+		}
+		order = append(order, nxt)
+		used[nxt] = true
+		for _, v := range q.Patterns[nxt].Vars() {
+			varsSeen[v] = true
+		}
+	}
+	return order
+}
+
+// Run implements systems.System.
+func (e *Engine) Run(q *sparql.Query) (*systems.RunResult, error) {
+	if err := q.Validate(); err != nil {
+		return nil, err
+	}
+	stats := cost.NewStats(e.graph, q)
+	order := planOrder(q, stats)
+	rr := &systems.RunResult{System: e.Name(), Query: q.Name}
+	c := e.cfg.Constants
+
+	// Adaptive choice: centralized when all estimated intermediates are
+	// small.
+	central := true
+	for k := 1; k <= len(order); k++ {
+		if stats.JoinCard(order[:k]) > e.cfg.CentralThreshold ||
+			stats.PatternCard(order[k-1]) > e.cfg.CentralThreshold {
+			central = false
+			break
+		}
+	}
+	if central || len(order) == 1 {
+		pats := make([]sparql.TriplePattern, len(order))
+		for i, pi := range order {
+			pats[i] = q.Patterns[pi]
+		}
+		res := index.EvalBGP(e.idx, e.graph.Dict, pats)
+		rr.Time = float64(res.Touched)*c.Read + float64(len(res.Rows))*c.Join
+		rr.Work = rr.Time
+		rr.Rows = distinctProjected(res, q.Select)
+		return rr, nil
+	}
+
+	// Left-deep execution: one MapReduce job per join. The accumulated
+	// relation is range-partitioned over the nodes for the map phase;
+	// the next pattern is scanned from the global index (each node
+	// scans its share of the index region).
+	cl := mapreduce.NewCluster(dstore.NewStore(e.cfg.Nodes), c)
+	accVars, accRows := e.scanPattern(q.Patterns[order[0]])
+	for k := 1; k < len(order); k++ {
+		tp := q.Patterns[order[k]]
+		rightVars, rightRows := e.scanPattern(tp)
+		shared := intersect(accVars, rightVars)
+		if len(shared) == 0 {
+			return nil, fmt.Errorf("h2rdfsim: %s: disconnected join order", q.Name)
+		}
+		accCols := cols(accVars, shared)
+		rCols := cols(rightVars, shared)
+		mergedVars, rightExtra := mergeVars(accVars, rightVars)
+		acc := accRows
+		right := rightRows
+		out := cl.Run(mapreduce.Job{
+			Name: fmt.Sprintf("%s-h2rdf-join%d", q.Name, k),
+			Map: func(node int, m *mapreduce.Meter, emit func(mapreduce.Keyed), _ func(mapreduce.Row)) {
+				n := e.cfg.Nodes
+				for i := node; i < len(acc); i += n {
+					m.Read(&c, 1)
+					emit(mapreduce.Keyed{Key: key(acc[i], accCols), Tag: 0, Row: mapreduce.Row(acc[i])})
+				}
+				for i := node; i < len(right); i += n {
+					m.Read(&c, 1)
+					emit(mapreduce.Keyed{Key: key(right[i], rCols), Tag: 1, Row: mapreduce.Row(right[i])})
+				}
+			},
+			Reduce: func(node int, m *mapreduce.Meter, groups map[string][]mapreduce.Keyed, out func(mapreduce.Row)) {
+				for _, recs := range groups {
+					var left, rgt []mapreduce.Row
+					for _, r := range recs {
+						if r.Tag == 0 {
+							left = append(left, r.Row)
+						} else {
+							rgt = append(rgt, r.Row)
+						}
+					}
+					m.Join(&c, len(left)+len(rgt))
+					for _, l := range left {
+						for _, r := range rgt {
+							nr := make(mapreduce.Row, 0, len(mergedVars))
+							nr = append(nr, l...)
+							for _, rc := range rightExtra {
+								nr = append(nr, r[rc])
+							}
+							m.Join(&c, 1)
+							m.Write(&c, 1)
+							out(nr)
+						}
+					}
+				}
+			},
+		})
+		accVars = mergedVars
+		accRows = nil
+		for _, rows := range out.PerNode {
+			for _, r := range rows {
+				accRows = append(accRows, []rdf.TermID(r))
+			}
+		}
+	}
+	rr.Jobs = len(cl.Jobs)
+	rr.Time = cl.ResponseTime()
+	rr.Work = cl.TotalWork()
+	rr.Rows = countDistinct(projectRows(accVars, accRows, q.Select))
+	return rr, nil
+}
+
+// scanPattern materializes one pattern's bindings from the global
+// index (constants bound, variables extracted).
+func (e *Engine) scanPattern(tp sparql.TriplePattern) ([]string, [][]rdf.TermID) {
+	var s, p, o rdf.TermID
+	resolveConst := func(pt sparql.PatternTerm) (rdf.TermID, bool) {
+		if pt.IsVar {
+			return 0, true
+		}
+		id, found := e.graph.Dict.Lookup(pt.Term)
+		return id, found
+	}
+	var ok1, ok2, ok3 bool
+	s, ok1 = resolveConst(tp.S)
+	p, ok2 = resolveConst(tp.P)
+	o, ok3 = resolveConst(tp.O)
+	vars := tp.Vars()
+	sort.Strings(vars)
+	if !ok1 || !ok2 || !ok3 {
+		return vars, nil
+	}
+	matches, _ := e.idx.Lookup(s, p, o)
+	varPos := make([]rdf.Pos, len(vars))
+	for i, v := range vars {
+		for _, pos := range []rdf.Pos{rdf.SPos, rdf.PPos, rdf.OPos} {
+			if pt := tp.At(pos); pt.IsVar && pt.Var == v {
+				varPos[i] = pos
+				break
+			}
+		}
+	}
+	var rows [][]rdf.TermID
+	for _, t := range matches {
+		if !repeatOK(tp, t) {
+			continue
+		}
+		row := make([]rdf.TermID, len(vars))
+		for i, pos := range varPos {
+			row[i] = t.At(pos)
+		}
+		rows = append(rows, row)
+	}
+	return vars, rows
+}
+
+func repeatOK(tp sparql.TriplePattern, t rdf.Triple) bool {
+	seen := map[string]rdf.TermID{}
+	for _, pos := range []rdf.Pos{rdf.SPos, rdf.PPos, rdf.OPos} {
+		pt := tp.At(pos)
+		if !pt.IsVar {
+			continue
+		}
+		if v, ok := seen[pt.Var]; ok && v != t.At(pos) {
+			return false
+		}
+		seen[pt.Var] = t.At(pos)
+	}
+	return true
+}
+
+func distinctProjected(res *index.EvalResult, sel []string) int {
+	cs := make([]int, len(sel))
+	for i, v := range sel {
+		cs[i] = res.Col(v)
+	}
+	seen := make(map[string]bool)
+	for _, row := range res.Rows {
+		vals := make([]uint32, len(cs))
+		for i, c := range cs {
+			vals[i] = uint32(row[c])
+		}
+		seen[mapreduce.EncodeKey(0, vals)] = true
+	}
+	return len(seen)
+}
+
+func intersect(a, b []string) []string {
+	in := make(map[string]bool, len(a))
+	for _, v := range a {
+		in[v] = true
+	}
+	var out []string
+	for _, v := range b {
+		if in[v] {
+			out = append(out, v)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+func cols(vars, want []string) []int {
+	out := make([]int, len(want))
+	for i, w := range want {
+		for j, v := range vars {
+			if v == w {
+				out[i] = j
+			}
+		}
+	}
+	return out
+}
+
+func mergeVars(a, b []string) (merged []string, rightExtra []int) {
+	merged = append(merged, a...)
+	in := make(map[string]bool, len(a))
+	for _, v := range a {
+		in[v] = true
+	}
+	for j, v := range b {
+		if !in[v] {
+			merged = append(merged, v)
+			rightExtra = append(rightExtra, j)
+		}
+	}
+	return merged, rightExtra
+}
+
+func key(row []rdf.TermID, cols []int) string {
+	vals := make([]uint32, len(cols))
+	for i, c := range cols {
+		vals[i] = uint32(row[c])
+	}
+	return mapreduce.EncodeKey(0, vals)
+}
+
+func projectRows(vars []string, rows [][]rdf.TermID, sel []string) [][]rdf.TermID {
+	cs := cols(vars, sel)
+	out := make([][]rdf.TermID, 0, len(rows))
+	for _, r := range rows {
+		nr := make([]rdf.TermID, len(cs))
+		for i, c := range cs {
+			nr[i] = r[c]
+		}
+		out = append(out, nr)
+	}
+	return out
+}
+
+func countDistinct(rows [][]rdf.TermID) int {
+	seen := make(map[string]bool, len(rows))
+	for _, r := range rows {
+		vals := make([]uint32, len(r))
+		for i, v := range r {
+			vals[i] = uint32(v)
+		}
+		seen[mapreduce.EncodeKey(0, vals)] = true
+	}
+	return len(seen)
+}

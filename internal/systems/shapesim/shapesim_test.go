@@ -1,0 +1,59 @@
+package shapesim
+
+import (
+	"testing"
+
+	"cliquesquare/internal/rdf"
+	"cliquesquare/internal/sparql"
+)
+
+func TestCoverageForwardHops(t *testing.T) {
+	// x -> y -> z chain of subjects: from x, 2 hops cover subjects x
+	// and y (triples up to distance 2); z's own pattern is out of
+	// range.
+	q := sparql.MustParse(`SELECT ?x WHERE { ?x <p1> ?y . ?y <p2> ?z . ?z <p3> ?w }`)
+	cov := coverage(q.Patterns, "v:x", 2)
+	if len(cov) != 2 || cov[0] != 0 || cov[1] != 1 {
+		t.Errorf("coverage from x = %v, want [0 1]", cov)
+	}
+	// From y, both y's and z's patterns are covered but not x's.
+	cov = coverage(q.Patterns, "v:y", 2)
+	if len(cov) != 2 || cov[0] != 1 || cov[1] != 2 {
+		t.Errorf("coverage from y = %v, want [1 2]", cov)
+	}
+}
+
+func TestCoverageConstantSubject(t *testing.T) {
+	q := sparql.MustParse(`SELECT ?y WHERE { <a> <p1> ?y . ?y <p2> ?z }`)
+	cov := coverage(q.Patterns, "c:<a>", 2)
+	if len(cov) != 2 {
+		t.Errorf("coverage from constant = %v, want both patterns", cov)
+	}
+}
+
+func TestSubjKey(t *testing.T) {
+	q := sparql.MustParse(`SELECT ?y WHERE { <a> <p1> ?y . ?y <p2> "lit" }`)
+	if k := subjKey(q.Patterns[0].S); k != "c:<a>" {
+		t.Errorf("constant subject key = %q", k)
+	}
+	if k := subjKey(q.Patterns[1].S); k != "v:y" {
+		t.Errorf("variable subject key = %q", k)
+	}
+}
+
+func TestDecomposeStarIsSinglePWOCGroup(t *testing.T) {
+	g := tinyGraph()
+	e := New(g, DefaultConfig())
+	q := sparql.MustParse(`SELECT ?x WHERE { ?x <p1> ?a . ?x <p2> ?b . ?x <p3> ?c }`)
+	groups, anchors := e.Decompose(q)
+	if len(groups) != 1 || anchors[0] != "v:x" {
+		t.Errorf("star decomposed as %v anchors %v, want single group at x", groups, anchors)
+	}
+}
+
+func tinyGraph() *rdf.Graph {
+	g := rdf.NewGraph()
+	g.AddSPO("a", "p1", "b")
+	g.AddSPO("b", "p2", "c")
+	return g
+}

@@ -1,0 +1,48 @@
+// Package systems defines the common harness for the full-system
+// comparison of Section 6.4: CSQ (the CliqueSquare prototype), a SHAPE
+// simulator (semantic hash partitioning, Lee & Liu PVLDB 2013) and an
+// H2RDF+ simulator (HBase indexes with left-deep plans, Papailiou et
+// al. IEEE BigData 2013). All three run over the same simulated
+// cluster-cost regime, so their response times are comparable.
+package systems
+
+import (
+	"fmt"
+
+	"cliquesquare/internal/sparql"
+)
+
+// RunResult reports one system's execution of one query.
+type RunResult struct {
+	System string
+	Query  string
+	// Rows is the number of distinct result tuples.
+	Rows int
+	// Time is the simulated response time in microseconds.
+	Time float64
+	// Work is the simulated total work across nodes in microseconds.
+	Work float64
+	// Jobs is the number of MapReduce jobs executed.
+	Jobs int
+	// MapOnlyJobs of those were map-only.
+	MapOnlyJobs int
+}
+
+// JobLabel renders the job count in the paper's figure notation: "M"
+// when all jobs are map-only, "0" for fully local execution, otherwise
+// the number of jobs.
+func (r *RunResult) JobLabel() string {
+	if r.Jobs == 0 {
+		return "0"
+	}
+	if r.Jobs == r.MapOnlyJobs {
+		return "M"
+	}
+	return fmt.Sprintf("%d", r.Jobs)
+}
+
+// System evaluates BGP queries over a dataset fixed at construction.
+type System interface {
+	Name() string
+	Run(q *sparql.Query) (*RunResult, error)
+}

@@ -1,0 +1,144 @@
+package vargraph
+
+import (
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Clique is a variable clique (Definition 3.2): a set of graph nodes all
+// sharing at least one variable. Vars lists every variable common to all
+// member nodes (the join attributes of the n-ary join the clique stands
+// for); for single-node cliques Vars is nil and the clique is a
+// pass-through.
+type Clique struct {
+	// Nodes are sorted node indexes into the graph being decomposed.
+	Nodes []int
+	// Vars are the sorted variables shared by all member nodes
+	// (non-empty iff len(Nodes) > 1).
+	Vars []string
+}
+
+// Key returns a canonical identity string for the clique's node set.
+func (c Clique) Key() string {
+	var b strings.Builder
+	for i, n := range c.Nodes {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(strconv.Itoa(n))
+	}
+	return b.String()
+}
+
+// Decomposition is a clique decomposition (Definition 3.3): a set of
+// cliques covering all graph nodes with strictly fewer cliques than
+// nodes.
+type Decomposition []Clique
+
+// MaximalCliques returns the maximal variable cliques of g: for every
+// variable shared by at least two nodes, the set of all nodes containing
+// it. Cliques with identical node sets (different variables inducing the
+// same node set) are merged, with Vars accumulating the shared variables.
+// The result is sorted by Key for determinism.
+func MaximalCliques(g *Graph) []Clique {
+	byKey := make(map[string]*Clique)
+	for _, v := range g.SharedVars() {
+		var members []int
+		for i := range g.Nodes {
+			if g.Nodes[i].HasVar(v) {
+				members = append(members, i)
+			}
+		}
+		c := Clique{Nodes: members}
+		k := c.Key()
+		if prev, ok := byKey[k]; ok {
+			prev.Vars = append(prev.Vars, v)
+			continue
+		}
+		c.Vars = []string{v}
+		byKey[k] = &c
+	}
+	out := make([]Clique, 0, len(byKey))
+	for _, c := range byKey {
+		sort.Strings(c.Vars)
+		out = append(out, *c)
+	}
+	sortCliques(out)
+	return out
+}
+
+// PartialCliques returns every partial variable clique of g: every
+// non-empty subset of every maximal clique, deduplicated by node set.
+// Each returned clique's Vars is the full set of variables shared by all
+// its members. Single-node subsets are included (they act as
+// pass-throughs in decompositions), as in the paper's SC examples.
+func PartialCliques(g *Graph) []Clique {
+	maximal := MaximalCliques(g)
+	seen := make(map[string]bool)
+	var out []Clique
+	for _, mc := range maximal {
+		subsets(mc.Nodes, func(sub []int) {
+			c := Clique{Nodes: append([]int(nil), sub...)}
+			k := c.Key()
+			if seen[k] {
+				return
+			}
+			seen[k] = true
+			c.Vars = sharedVars(g, c.Nodes)
+			out = append(out, c)
+		})
+	}
+	sortCliques(out)
+	return out
+}
+
+// sharedVars returns the sorted variables common to every listed node.
+// For a single node it returns nil (no join labels on a pass-through).
+func sharedVars(g *Graph, nodes []int) []string {
+	if len(nodes) < 2 {
+		return nil
+	}
+	count := make(map[string]int)
+	for _, n := range nodes {
+		for _, v := range g.Nodes[n].Vars {
+			count[v]++
+		}
+	}
+	var out []string
+	for v, c := range count {
+		if c == len(nodes) {
+			out = append(out, v)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// subsets calls fn with every non-empty subset of set (in increasing
+// bitmask order). The slice passed to fn is reused across calls.
+func subsets(set []int, fn func([]int)) {
+	n := len(set)
+	buf := make([]int, 0, n)
+	for mask := 1; mask < 1<<n; mask++ {
+		buf = buf[:0]
+		for i := 0; i < n; i++ {
+			if mask&(1<<i) != 0 {
+				buf = append(buf, set[i])
+			}
+		}
+		fn(buf)
+	}
+}
+
+func sortCliques(cs []Clique) {
+	sort.Slice(cs, func(i, j int) bool {
+		a, b := cs[i].Nodes, cs[j].Nodes
+		for k := 0; k < len(a) && k < len(b); k++ {
+			if a[k] != b[k] {
+				return a[k] < b[k]
+			}
+		}
+		return len(a) < len(b)
+	})
+}

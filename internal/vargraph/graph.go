@@ -1,0 +1,147 @@
+// Package vargraph implements the variable (multi)graph of Definition 3.1
+// of the CliqueSquare paper, together with variable cliques (Def. 3.2),
+// clique decompositions (Def. 3.3), clique reductions (Def. 3.4), and the
+// eight decomposition strategies (Sec. 4.3): {partial, maximal} × {simple
+// cover, exact cover} × {all covers, minimum covers}.
+package vargraph
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"cliquesquare/internal/sparql"
+)
+
+// Node is one node of a variable graph. In the initial graph each node
+// corresponds to a single triple pattern; after reductions a node
+// corresponds to the set of patterns joined so far.
+type Node struct {
+	// Patterns are sorted indexes into the query's triple patterns.
+	Patterns []int
+	// Vars are the sorted variable names occurring in those patterns.
+	Vars []string
+	// Members are the indexes of the previous graph's nodes merged into
+	// this node by the reduction that produced it (nil in the initial
+	// graph). A single-member node is a pass-through, not a join.
+	Members []int
+	// JoinVars are the variables labelling the clique this node was
+	// reduced from: the shared variables of all its members (nil in the
+	// initial graph and for single-member nodes).
+	JoinVars []string
+}
+
+// HasVar reports whether v occurs in the node's variable set.
+func (n *Node) HasVar(v string) bool {
+	i := sort.SearchStrings(n.Vars, v)
+	return i < len(n.Vars) && n.Vars[i] == v
+}
+
+// Graph is a variable graph over the patterns of a query. Edges are
+// implicit: two distinct nodes are connected with label v iff both
+// contain variable v.
+type Graph struct {
+	Query *sparql.Query
+	Nodes []Node
+}
+
+// FromQuery builds the initial variable graph, one node per triple
+// pattern (Figure 1 of the paper).
+func FromQuery(q *sparql.Query) *Graph {
+	g := &Graph{Query: q, Nodes: make([]Node, len(q.Patterns))}
+	for i, tp := range q.Patterns {
+		vars := append([]string(nil), tp.Vars()...)
+		sort.Strings(vars)
+		g.Nodes[i] = Node{Patterns: []int{i}, Vars: vars}
+	}
+	return g
+}
+
+// Len reports the number of nodes.
+func (g *Graph) Len() int { return len(g.Nodes) }
+
+// SharedVars returns the sorted variables shared by at least two nodes of
+// the graph (the labels that induce edges, hence cliques).
+func (g *Graph) SharedVars() []string {
+	count := make(map[string]int)
+	for i := range g.Nodes {
+		for _, v := range g.Nodes[i].Vars {
+			count[v]++
+		}
+	}
+	var out []string
+	for v, c := range count {
+		if c >= 2 {
+			out = append(out, v)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Reduce applies Definition 3.4: every clique of d becomes a node of the
+// new graph whose pattern set is the union of its members' patterns.
+func (g *Graph) Reduce(d Decomposition) *Graph {
+	out := &Graph{Query: g.Query, Nodes: make([]Node, len(d))}
+	for i, c := range d {
+		var n Node
+		n.Members = append([]int(nil), c.Nodes...)
+		pat := make(map[int]bool)
+		vs := make(map[string]bool)
+		for _, m := range c.Nodes {
+			for _, p := range g.Nodes[m].Patterns {
+				pat[p] = true
+			}
+			for _, v := range g.Nodes[m].Vars {
+				vs[v] = true
+			}
+		}
+		n.Patterns = sortedInts(pat)
+		n.Vars = sortedStrings(vs)
+		if len(c.Nodes) > 1 {
+			n.JoinVars = append([]string(nil), c.Vars...)
+		}
+		out.Nodes[i] = n
+	}
+	return out
+}
+
+// String renders the graph compactly, e.g. "[t1 t2 t3 | a b] [t4 | d]".
+func (g *Graph) String() string {
+	var b strings.Builder
+	for i := range g.Nodes {
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		n := &g.Nodes[i]
+		b.WriteByte('[')
+		for j, p := range n.Patterns {
+			if j > 0 {
+				b.WriteByte(' ')
+			}
+			fmt.Fprintf(&b, "t%d", p+1)
+		}
+		b.WriteString(" | ")
+		b.WriteString(strings.Join(n.Vars, " "))
+		b.WriteByte(']')
+	}
+	return b.String()
+}
+
+func sortedInts(m map[int]bool) []int {
+	out := make([]int, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Ints(out)
+	return out
+}
+
+func sortedStrings(m map[string]bool) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,86 @@
+package vargraph
+
+import "fmt"
+
+// Method selects one of the paper's eight clique-decomposition
+// strategies (Section 4.3). The three independent choices are:
+//
+//   - maximal cliques only ("+" suffix) vs. all partial cliques;
+//   - exact covers (XC, node-disjoint) vs. simple covers (SC);
+//   - minimum-size covers only ("M" prefix) vs. all covers.
+type Method uint8
+
+const (
+	// MSC uses partial cliques, simple covers, minimum size. The
+	// paper's recommended variant (HO-partial, small plan space).
+	MSC Method = iota
+	// MSCPlus uses maximal cliques, simple covers, minimum size.
+	MSCPlus
+	// SC uses partial cliques, all simple covers. HO-complete but its
+	// plan space explodes.
+	SC
+	// SCPlus uses maximal cliques, all simple covers.
+	SCPlus
+	// MXC uses partial cliques, exact covers, minimum size. HO-lossy.
+	MXC
+	// MXCPlus uses maximal cliques, exact covers, minimum size.
+	// HO-lossy and may find no plan at all.
+	MXCPlus
+	// XC uses partial cliques, all exact covers. HO-lossy.
+	XC
+	// XCPlus uses maximal cliques, all exact covers. HO-lossy and may
+	// find no plan at all.
+	XCPlus
+)
+
+// AllMethods lists the eight variants in the paper's reporting order.
+var AllMethods = []Method{MXCPlus, XCPlus, MSCPlus, SCPlus, MXC, XC, MSC, SC}
+
+// Maximal reports whether the method restricts the clique pool to
+// maximal cliques.
+func (m Method) Maximal() bool {
+	return m == MSCPlus || m == SCPlus || m == MXCPlus || m == XCPlus
+}
+
+// Exact reports whether the method uses exact (node-disjoint) covers.
+func (m Method) Exact() bool {
+	return m == MXC || m == MXCPlus || m == XC || m == XCPlus
+}
+
+// Minimum reports whether the method keeps only minimum-size covers.
+func (m Method) Minimum() bool {
+	return m == MSC || m == MSCPlus || m == MXC || m == MXCPlus
+}
+
+// String returns the paper's acronym for the method.
+func (m Method) String() string {
+	switch m {
+	case MSC:
+		return "MSC"
+	case MSCPlus:
+		return "MSC+"
+	case SC:
+		return "SC"
+	case SCPlus:
+		return "SC+"
+	case MXC:
+		return "MXC"
+	case MXCPlus:
+		return "MXC+"
+	case XC:
+		return "XC"
+	case XCPlus:
+		return "XC+"
+	}
+	return fmt.Sprintf("Method(%d)", uint8(m))
+}
+
+// ParseMethod converts an acronym (as printed by String) to a Method.
+func ParseMethod(s string) (Method, error) {
+	for _, m := range AllMethods {
+		if m.String() == s {
+			return m, nil
+		}
+	}
+	return 0, fmt.Errorf("vargraph: unknown decomposition method %q", s)
+}
