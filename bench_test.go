@@ -187,6 +187,40 @@ func BenchmarkFig22Workload(b *testing.B) {
 	}
 }
 
+// benchExecuteWorkload pre-plans the LUBM workload once and times plan
+// execution only, under the chosen runtime mode.
+func benchExecuteWorkload(b *testing.B, sequential bool) {
+	g := lubmGraph(6)
+	cfg := csq.DefaultConfig()
+	cfg.Sequential = sequential
+	eng := csq.New(g, cfg)
+	var plans []*physical.Plan
+	for _, q := range lubm.Queries() {
+		_, pp, _, err := eng.Plan(q)
+		if err != nil {
+			b.Fatal(err)
+		}
+		plans = append(plans, pp)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, pp := range plans {
+			if _, err := eng.ExecutePlan(pp); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// BenchmarkParallelVsSequential measures the wall-clock speedup of the
+// concurrent per-node runtime over the sequential escape hatch on the
+// LUBM workload at 7 nodes (the simulated results are identical; only
+// real execution time differs).
+func BenchmarkParallelVsSequential(b *testing.B) {
+	b.Run("parallel", func(b *testing.B) { benchExecuteWorkload(b, false) })
+	b.Run("sequential", func(b *testing.B) { benchExecuteWorkload(b, true) })
+}
+
 // BenchmarkFig8Bounds evaluates the closed-form decomposition bounds.
 func BenchmarkFig8Bounds(b *testing.B) {
 	for i := 0; i < b.N; i++ {

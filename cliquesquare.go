@@ -61,6 +61,11 @@ type Options struct {
 	Method string
 	// Timeout bounds optimization; 0 means 100s (the paper's cap).
 	Timeout time.Duration
+	// Parallelism bounds the worker pool the execution runtime uses
+	// for per-node phases; 0 means GOMAXPROCS, negative forces the
+	// sequential runtime. Results and statistics are identical at any
+	// setting — only wall-clock time changes.
+	Parallelism int
 }
 
 // Engine evaluates queries over a partitioned dataset.
@@ -85,6 +90,11 @@ func NewEngine(g *Graph, opts Options) (*Engine, error) {
 	}
 	if opts.Timeout > 0 {
 		cfg.Timeout = opts.Timeout
+	}
+	if opts.Parallelism < 0 {
+		cfg.Sequential = true
+	} else {
+		cfg.Parallelism = opts.Parallelism
 	}
 	return &Engine{inner: csq.New(g, cfg), dict: g.Dict}, nil
 }

@@ -1,0 +1,3 @@
+module cliquesquare
+
+go 1.24

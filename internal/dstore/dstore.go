@@ -2,11 +2,17 @@
 // CliqueSquare: every compute node holds a set of named partition files
 // of fixed-width tuple rows (an HDFS-like layout, with the three-replica
 // placement of Section 5.1 implemented by the partition package on top).
+//
+// Nodes are safe for concurrent readers (the concurrent MapReduce
+// runtime runs one goroutine per node, and replicas of the same file
+// may be scanned from several goroutines). Writes (Append, Delete) must
+// not race with reads; the engine only writes during the load phase.
 package dstore
 
 import (
 	"fmt"
 	"sort"
+	"sync"
 
 	"cliquesquare/internal/rdf"
 )
@@ -22,11 +28,48 @@ type File struct {
 	Name   string
 	Schema []string // column names (e.g. "s", "p", "o")
 	Rows   []Row
+
+	// idx holds the lazily built secondary hash indexes, one per
+	// column: constant term -> ids of the rows holding it in that
+	// column. Built on first Lookup of a column and invalidated by
+	// Append; guarded by mu so concurrent readers build it once.
+	mu  sync.Mutex
+	idx []map[rdf.TermID][]int32
+}
+
+// Lookup returns the ids (offsets into Rows) of the rows whose column
+// col equals id, using a secondary hash index built lazily on first
+// use. It is safe for concurrent use; the returned slice must not be
+// modified.
+func (f *File) Lookup(col int, id rdf.TermID) []int32 {
+	f.mu.Lock()
+	if f.idx == nil {
+		f.idx = make([]map[rdf.TermID][]int32, len(f.Schema))
+	}
+	ix := f.idx[col]
+	if ix == nil {
+		ix = make(map[rdf.TermID][]int32)
+		for r, row := range f.Rows {
+			ix[row[col]] = append(ix[row[col]], int32(r))
+		}
+		f.idx[col] = ix
+	}
+	f.mu.Unlock()
+	return ix[id]
+}
+
+// invalidate drops the secondary indexes after a mutation.
+func (f *File) invalidate() {
+	f.mu.Lock()
+	f.idx = nil
+	f.mu.Unlock()
 }
 
 // Node is one simulated compute node's local file store.
 type Node struct {
-	ID    int
+	ID int
+
+	mu    sync.RWMutex
 	files map[string]*File
 }
 
@@ -34,41 +77,55 @@ type Node struct {
 // schema) on first use. It panics if an existing file has a different
 // schema, which would indicate a partitioning bug.
 func (n *Node) Append(name string, schema []string, rows ...Row) {
+	n.mu.Lock()
 	f, ok := n.files[name]
 	if !ok {
 		f = &File{Name: name, Schema: schema}
 		n.files[name] = f
 	} else if len(f.Schema) != len(schema) {
+		n.mu.Unlock()
 		panic(fmt.Sprintf("dstore: file %q schema mismatch: %v vs %v", name, f.Schema, schema))
 	}
 	f.Rows = append(f.Rows, rows...)
+	n.mu.Unlock()
+	f.invalidate()
 }
 
 // Get returns the named file if present.
 func (n *Node) Get(name string) (*File, bool) {
+	n.mu.RLock()
 	f, ok := n.files[name]
+	n.mu.RUnlock()
 	return f, ok
 }
 
 // Delete removes the named file.
-func (n *Node) Delete(name string) { delete(n.files, name) }
+func (n *Node) Delete(name string) {
+	n.mu.Lock()
+	delete(n.files, name)
+	n.mu.Unlock()
+}
 
 // Names returns all file names on the node, sorted.
 func (n *Node) Names() []string {
+	n.mu.RLock()
 	out := make([]string, 0, len(n.files))
 	for k := range n.files {
 		out = append(out, k)
 	}
+	n.mu.RUnlock()
 	sort.Strings(out)
 	return out
 }
 
 // Rows reports the total number of rows stored on the node.
 func (n *Node) Rows() int {
+	n.mu.RLock()
 	t := 0
 	for _, f := range n.files {
 		t += len(f.Rows)
 	}
+	n.mu.RUnlock()
 	return t
 }
 

@@ -1,7 +1,10 @@
 package dstore
 
 import (
+	"sync"
 	"testing"
+
+	"cliquesquare/internal/rdf"
 )
 
 func TestStoreBasics(t *testing.T) {
@@ -52,6 +55,61 @@ func TestNewStorePanicsOnZeroNodes(t *testing.T) {
 		}
 	}()
 	NewStore(0)
+}
+
+func TestLookup(t *testing.T) {
+	s := NewStore(1)
+	n := s.Node(0)
+	n.Append("f", []string{"s", "p", "o"},
+		Row{1, 10, 100}, Row{2, 10, 200}, Row{1, 20, 100})
+	f, _ := n.Get("f")
+	if got := f.Lookup(0, 1); len(got) != 2 || got[0] != 0 || got[1] != 2 {
+		t.Errorf("Lookup(s,1) = %v, want [0 2]", got)
+	}
+	if got := f.Lookup(1, 10); len(got) != 2 || got[0] != 0 || got[1] != 1 {
+		t.Errorf("Lookup(p,10) = %v, want [0 1]", got)
+	}
+	if got := f.Lookup(2, 999); got != nil {
+		t.Errorf("Lookup(o,999) = %v, want nil", got)
+	}
+	// Append invalidates the index: new rows must be visible.
+	n.Append("f", []string{"s", "p", "o"}, Row{1, 30, 300})
+	if got := f.Lookup(0, 1); len(got) != 3 {
+		t.Errorf("Lookup(s,1) after append = %v, want 3 row ids", got)
+	}
+}
+
+func TestConcurrentLookup(t *testing.T) {
+	s := NewStore(1)
+	n := s.Node(0)
+	rows := make([]Row, 1000)
+	for i := range rows {
+		rows[i] = Row{rdf.TermID(i % 7), rdf.TermID(i % 3), rdf.TermID(i)}
+	}
+	n.Append("f", []string{"s", "p", "o"}, rows...)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			f, ok := n.Get("f")
+			if !ok {
+				t.Error("Get failed")
+				return
+			}
+			for i := 0; i < 100; i++ {
+				col := (g + i) % 3
+				id := rdf.TermID(i % 7)
+				for _, r := range f.Lookup(col, id) {
+					if f.Rows[r][col] != id {
+						t.Errorf("Lookup(%d,%d) returned row %d = %v", col, id, r, f.Rows[r])
+						return
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
 }
 
 func TestRowClone(t *testing.T) {

@@ -11,6 +11,9 @@ package mapreduce
 import (
 	"encoding/binary"
 	"hash/fnv"
+	"runtime"
+	"sync"
+	"sync/atomic"
 
 	"cliquesquare/internal/dstore"
 )
@@ -95,9 +98,21 @@ type JobStats struct {
 }
 
 // Cluster is a simulated MapReduce cluster over a shared file store.
+//
+// Per-node phases (map, shuffle accounting, reduce) run concurrently on
+// a worker pool, mirroring the real parallelism CliqueSquare's flat
+// plans exploit. Each node's task fills only node-private buffers; the
+// buffers are merged in node order afterwards, so outputs and JobStats
+// are identical to the sequential runtime regardless of scheduling.
 type Cluster struct {
 	Store *dstore.Store
 	C     Constants
+
+	// Parallelism bounds the worker pool running per-node phases; 0
+	// means GOMAXPROCS. Sequential forces the single-goroutine runtime
+	// (the escape hatch for debugging and determinism baselines).
+	Parallelism int
+	Sequential  bool
 
 	// Jobs lists per-job stats in execution order.
 	Jobs []JobStats
@@ -160,61 +175,72 @@ func (cl *Cluster) Run(job Job) *Output {
 	n := cl.N()
 	out := &Output{PerNode: make([][]Row, n)}
 	stats := JobStats{Name: job.Name, MapOnly: job.Reduce == nil}
-
-	// Map phase.
-	shuffled := make([][]Keyed, n) // destination node -> records
-	mapMax := 0.0
 	work := 0.0
-	for node := 0; node < n; node++ {
-		var m Meter
-		nd := node
+
+	// Map phase: one task per node. Each task buffers its emissions
+	// node-privately; the shuffle routing happens in the deterministic
+	// merge below.
+	emitted := make([][]Keyed, n) // source node -> emitted records
+	outputs := make([]int, n)     // source node -> rows written
+	meters := make([]Meter, n)
+	cl.forEachNode(n, func(node int) {
 		emit := func(k Keyed) {
+			emitted[node] = append(emitted[node], k)
+		}
+		output := func(r Row) {
+			out.PerNode[node] = append(out.PerNode[node], r)
+			outputs[node]++
+		}
+		job.Map(node, &meters[node], emit, output)
+	})
+	// Merge in node order: shuffle destination lists, counters and the
+	// simulated-work sum accumulate exactly as in a sequential sweep.
+	shuffled := make([][]Keyed, n) // destination node -> records
+	for node := 0; node < n; node++ {
+		for _, k := range emitted[node] {
 			dest := routeKey(k.Key) % n
 			shuffled[dest] = append(shuffled[dest], k)
 			stats.Shuffled++
 			stats.ShuffledCells += len(k.Row)
 		}
-		output := func(r Row) {
-			out.PerNode[nd] = append(out.PerNode[nd], r)
-			stats.Output++
+		stats.Output += outputs[node]
+		if t := meters[node].Total(); t > stats.MapTime {
+			stats.MapTime = t
 		}
-		job.Map(node, &m, emit, output)
-		if t := m.Total(); t > mapMax {
-			mapMax = t
-		}
-		work += m.Total()
+		work += meters[node].Total()
 	}
-	stats.MapTime = mapMax
 
-	// Shuffle + reduce phases.
+	// Shuffle + reduce phases: again one task per node over the
+	// node-routed records, merged in node order.
 	if job.Reduce != nil {
-		shufMax, redMax := 0.0, 0.0
-		for node := 0; node < n; node++ {
-			var sm Meter
-			sm.Shuffle(&cl.C, len(shuffled[node]))
-			if t := sm.Total(); t > shufMax {
-				shufMax = t
-			}
-			work += sm.Total()
-
-			groups := make(map[string][]Keyed)
+		shufMeters := make([]Meter, n)
+		redMeters := make([]Meter, n)
+		for i := range outputs {
+			outputs[i] = 0
+		}
+		cl.forEachNode(n, func(node int) {
+			shufMeters[node].Shuffle(&cl.C, len(shuffled[node]))
+			groups := make(map[string][]Keyed, len(shuffled[node]))
 			for _, k := range shuffled[node] {
 				groups[k.Key] = append(groups[k.Key], k)
 			}
-			var rm Meter
-			nd := node
 			output := func(r Row) {
-				out.PerNode[nd] = append(out.PerNode[nd], r)
-				stats.Output++
+				out.PerNode[node] = append(out.PerNode[node], r)
+				outputs[node]++
 			}
-			job.Reduce(node, &rm, groups, output)
-			if t := rm.Total(); t > redMax {
-				redMax = t
+			job.Reduce(node, &redMeters[node], groups, output)
+		})
+		for node := 0; node < n; node++ {
+			if t := shufMeters[node].Total(); t > stats.ShuffleTime {
+				stats.ShuffleTime = t
 			}
-			work += rm.Total()
+			work += shufMeters[node].Total()
+			if t := redMeters[node].Total(); t > stats.ReduceTime {
+				stats.ReduceTime = t
+			}
+			work += redMeters[node].Total()
+			stats.Output += outputs[node]
 		}
-		stats.ShuffleTime = shufMax
-		stats.ReduceTime = redMax
 	}
 
 	stats.Time = cl.C.JobInit + stats.MapTime + stats.ShuffleTime + stats.ReduceTime
@@ -222,6 +248,60 @@ func (cl *Cluster) Run(job Job) *Output {
 	cl.totalWork += work
 	cl.Jobs = append(cl.Jobs, stats)
 	return out
+}
+
+// forEachNode runs f(0..n-1), sequentially when the escape hatch is on
+// (or only one worker is available), otherwise on a worker pool bounded
+// by Parallelism (default GOMAXPROCS). A panic in a task is re-raised
+// on the caller's goroutine, matching sequential behavior.
+func (cl *Cluster) forEachNode(n int, f func(node int)) {
+	workers := cl.Parallelism
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	if cl.Sequential || workers <= 1 {
+		for node := 0; node < n; node++ {
+			f(node)
+		}
+		return
+	}
+	var (
+		next     atomic.Int64
+		panicMu  sync.Mutex
+		panicked any
+		wg       sync.WaitGroup
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				node := int(next.Add(1)) - 1
+				if node >= n {
+					return
+				}
+				func() {
+					defer func() {
+						if r := recover(); r != nil {
+							panicMu.Lock()
+							if panicked == nil {
+								panicked = r
+							}
+							panicMu.Unlock()
+						}
+					}()
+					f(node)
+				}()
+			}
+		}()
+	}
+	wg.Wait()
+	if panicked != nil {
+		panic(panicked)
+	}
 }
 
 // Reset clears accumulated job statistics (the store is untouched).

@@ -149,6 +149,86 @@ func TestMeterAccumulates(t *testing.T) {
 	}
 }
 
+// countJob fans rows out by a modular key and counts group sizes: a
+// small job whose output and stats exercise both phases.
+func countJob(cl *Cluster) Job {
+	return Job{
+		Name: "count",
+		Map: func(node int, m *Meter, emit func(Keyed), out func(Row)) {
+			for i := 0; i < 50; i++ {
+				m.Read(&cl.C, 1)
+				emit(Keyed{
+					Key: EncodeKey(0, []uint32{uint32((node*50 + i) % 13)}),
+					Tag: 0,
+					Row: Row{rdf.TermID(node), rdf.TermID(i)},
+				})
+			}
+		},
+		Reduce: func(node int, m *Meter, groups map[string][]Keyed, out func(Row)) {
+			for _, recs := range groups {
+				m.Join(&cl.C, len(recs))
+				out(Row{rdf.TermID(len(recs))})
+			}
+		},
+	}
+}
+
+// TestParallelMatchesSequential runs the same job on the parallel and
+// sequential runtimes and asserts identical outputs and stats.
+func TestParallelMatchesSequential(t *testing.T) {
+	run := func(sequential bool) (*Output, JobStats) {
+		cl, _ := wordCountCluster(5)
+		cl.Sequential = sequential
+		// Force a multi-worker pool even on a single-CPU machine, so
+		// the concurrent path is actually exercised.
+		cl.Parallelism = 4
+		out := cl.Run(countJob(cl))
+		return out, cl.Jobs[0]
+	}
+	pout, pstats := run(false)
+	sout, sstats := run(true)
+	if pstats != sstats {
+		t.Errorf("stats differ:\nparallel   %+v\nsequential %+v", pstats, sstats)
+	}
+	if len(pout.PerNode) != len(sout.PerNode) {
+		t.Fatalf("node counts differ")
+	}
+	for node := range pout.PerNode {
+		if len(pout.PerNode[node]) != len(sout.PerNode[node]) {
+			t.Errorf("node %d: %d vs %d rows", node,
+				len(pout.PerNode[node]), len(sout.PerNode[node]))
+		}
+	}
+}
+
+// TestParallelismOne degrades to the sequential path via the knob.
+func TestParallelismOne(t *testing.T) {
+	cl, _ := wordCountCluster(4)
+	cl.Parallelism = 1
+	out := cl.Run(countJob(cl))
+	if out.Len() == 0 {
+		t.Error("no output")
+	}
+}
+
+func TestPanicPropagates(t *testing.T) {
+	cl, _ := wordCountCluster(4)
+	cl.Parallelism = 4
+	defer func() {
+		if r := recover(); r != "boom" {
+			t.Errorf("recover() = %v, want boom", r)
+		}
+	}()
+	cl.Run(Job{
+		Name: "panics",
+		Map: func(node int, m *Meter, emit func(Keyed), out func(Row)) {
+			if node == 2 {
+				panic("boom")
+			}
+		},
+	})
+}
+
 func TestOutputRowsOrderedByNode(t *testing.T) {
 	cl, _ := wordCountCluster(3)
 	out := cl.Run(Job{

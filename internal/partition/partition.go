@@ -16,6 +16,7 @@ package partition
 
 import (
 	"fmt"
+	"sort"
 
 	"cliquesquare/internal/dstore"
 	"cliquesquare/internal/rdf"
@@ -152,11 +153,13 @@ func (p *Partitioner) Files(tp sparql.TriplePattern, pos rdf.Pos, dict *rdf.Dict
 			for o := range p.typeObjects {
 				out = append(out, FileName(pos, prop, o))
 			}
+			sort.Strings(out)
 			return out
 		}
 		return []string{FileName(pos, prop, 0)}
 	}
-	// Variable property: read the whole partition.
+	// Variable property: read the whole partition. Sorted so scans
+	// visit files (and meter their work) in a reproducible order.
 	var out []string
 	for prop := range p.properties {
 		if pos == rdf.PPos && prop == p.typeID && p.typeID != rdf.NoTerm {
@@ -167,6 +170,7 @@ func (p *Partitioner) Files(tp sparql.TriplePattern, pos rdf.Pos, dict *rdf.Dict
 		}
 		out = append(out, FileName(pos, prop, 0))
 	}
+	sort.Strings(out)
 	return out
 }
 

@@ -1,0 +1,87 @@
+package physical
+
+import (
+	"cliquesquare/internal/mapreduce"
+	"cliquesquare/internal/rdf"
+)
+
+// ExecContext carries cross-layer execution state threaded from the
+// engine facade down to the per-node workers: the parallelism settings
+// handed to the mapreduce runtime, an optional per-job stats sink, and
+// the reusable per-node scratch arenas the executor's join evaluation
+// draws from. One ExecContext may serve many plan executions; arenas
+// amortize allocations across them.
+type ExecContext struct {
+	// Parallelism bounds the mapreduce worker pool (0 = GOMAXPROCS).
+	Parallelism int
+	// Sequential forces the single-goroutine mapreduce runtime.
+	Sequential bool
+	// StatsSink, if non-nil, receives each job's stats as the job
+	// completes (before the next job starts).
+	StatsSink func(mapreduce.JobStats)
+
+	arenas []*arena
+}
+
+// NewExecContext returns a context with the given parallelism degree.
+func NewExecContext(parallelism int) *ExecContext {
+	return &ExecContext{Parallelism: parallelism}
+}
+
+// ensureNodes sizes the per-node arena set before jobs run, so the
+// concurrent per-node workers index it without synchronization.
+func (c *ExecContext) ensureNodes(n int) {
+	for len(c.arenas) < n {
+		c.arenas = append(c.arenas, &arena{})
+	}
+}
+
+// arenaFor returns node's scratch arena. Within one job phase a node
+// runs on a single goroutine, so the arena needs no locking.
+func (c *ExecContext) arenaFor(node int) *arena { return c.arenas[node] }
+
+// arena is one node's reusable scratch for local join evaluation: the
+// hash tables, cursor slices and key buffer naryJoin needs per call,
+// plus a slab allocator for output rows. Scratch buffers are reused
+// across calls; slab rows are never reused (they escape into relations
+// and results), only allocated in large chunks.
+type arena struct {
+	keyBuf []byte
+	tables []map[string][]mapreduce.Row
+	colIdx [][]int
+	lists  [][]mapreduce.Row
+	group  []mapreduce.Row
+	slab   []rdf.TermID
+}
+
+const slabChunk = 8192
+
+// newRow returns a fresh width-w row, drawn from the arena's slab when
+// one is available (a nil arena degrades to a plain allocation).
+func (a *arena) newRow(w int) mapreduce.Row {
+	if a == nil {
+		return make(mapreduce.Row, w)
+	}
+	if w > len(a.slab) {
+		n := slabChunk
+		if w > n {
+			n = w
+		}
+		a.slab = make([]rdf.TermID, n)
+	}
+	r := mapreduce.Row(a.slab[:w:w])
+	a.slab = a.slab[w:]
+	return r
+}
+
+// grow sizes the per-child scratch slices for a join of nc inputs.
+func (a *arena) grow(nc int) {
+	for len(a.tables) < nc {
+		a.tables = append(a.tables, nil)
+		a.colIdx = append(a.colIdx, nil)
+		a.lists = append(a.lists, nil)
+	}
+	if cap(a.group) < nc {
+		a.group = make([]mapreduce.Row, nc)
+	}
+}

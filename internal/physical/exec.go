@@ -1,8 +1,8 @@
 package physical
 
 import (
-	"encoding/binary"
 	"fmt"
+	"sort"
 
 	"cliquesquare/internal/core"
 	"cliquesquare/internal/mapreduce"
@@ -12,11 +12,17 @@ import (
 )
 
 // Executor runs compiled physical plans on a simulated cluster over
-// partitioned data.
+// partitioned data. Its per-node evaluation (scans, map joins, reduce
+// joins) is safe for the cluster's concurrent runtime: all shared state
+// (plan, partitioner, dictionary, store) is read-only during execution,
+// and mutable scratch lives in the ExecContext's per-node arenas.
 type Executor struct {
 	Cluster *mapreduce.Cluster
 	Part    *partition.Partitioner
 	Dict    *rdf.Dict
+	// Ctx carries parallelism settings, the stats sink and the per-node
+	// arenas; nil means a fresh default context (full parallelism).
+	Ctx *ExecContext
 }
 
 // Result is the outcome of executing one physical plan.
@@ -33,21 +39,44 @@ type Result struct {
 	Work float64
 }
 
+// runJob executes one job on the cluster and forwards its stats to the
+// context's sink, if any.
+func (x *Executor) runJob(job mapreduce.Job) *mapreduce.Output {
+	out := x.Cluster.Run(job)
+	if x.Ctx.StatsSink != nil {
+		x.Ctx.StatsSink(x.Cluster.Jobs[len(x.Cluster.Jobs)-1])
+	}
+	return out
+}
+
 // Execute runs pp and returns its deduplicated, sorted results together
 // with the simulated timing. The cluster's job log grows by this plan's
 // jobs; timing in the Result covers only them.
 func (x *Executor) Execute(pp *Plan) (*Result, error) {
+	if x.Ctx == nil {
+		// No explicit context: inherit the cluster's runtime settings,
+		// so directly constructed Executors keep their Cluster
+		// configuration (an explicit Ctx is authoritative instead).
+		x.Ctx = &ExecContext{
+			Parallelism: x.Cluster.Parallelism,
+			Sequential:  x.Cluster.Sequential,
+		}
+	}
+	x.Ctx.ensureNodes(x.Cluster.N())
+	x.Cluster.Parallelism = x.Ctx.Parallelism
+	x.Cluster.Sequential = x.Ctx.Sequential
 	jobsBefore := len(x.Cluster.Jobs)
 	workBefore := x.Cluster.TotalWork()
 	q := pp.Logical.Query
 
 	var finalRows []mapreduce.Row
 	if pp.MapOnly() {
-		out := x.Cluster.Run(mapreduce.Job{
+		out := x.runJob(mapreduce.Job{
 			Name: fmt.Sprintf("%s-map-only", q.Name),
 			Map: func(node int, m *mapreduce.Meter, emit func(mapreduce.Keyed), out func(mapreduce.Row)) {
-				rel := x.evalLocal(pp, pp.Root, node, m, "")
-				proj := rel.project(q.Select)
+				a := x.Ctx.arenaFor(node)
+				rel := x.evalLocal(pp, pp.Root, node, m, "", a)
+				proj := rel.project(a, q.Select)
 				m.Check(&x.Cluster.C, len(proj.rows))
 				for _, r := range proj.rows {
 					out(r)
@@ -58,7 +87,8 @@ func (x *Executor) Execute(pp *Plan) (*Result, error) {
 	} else {
 		// interm[info] holds a reduce join's output rows per node,
 		// pre-allocated so empty joins still have empty (not nil)
-		// per-node slices.
+		// per-node slices — and so concurrent per-node workers write
+		// disjoint slots of an already-built map.
 		interm := make(map[*Info][][]mapreduce.Row)
 		byID := make(map[int]*Info)
 		for _, in := range pp.Infos {
@@ -70,9 +100,10 @@ func (x *Executor) Execute(pp *Plan) (*Result, error) {
 		for l, infos := range pp.Levels {
 			level := infos
 			isLast := l == len(pp.Levels)-1
-			out := x.Cluster.Run(mapreduce.Job{
+			out := x.runJob(mapreduce.Job{
 				Name: fmt.Sprintf("%s-job%d", q.Name, l+1),
 				Map: func(node int, m *mapreduce.Meter, emit func(mapreduce.Keyed), out func(mapreduce.Row)) {
+					a := x.Ctx.arenaFor(node)
 					for _, rj := range level {
 						for i, c := range rj.Op.Children {
 							ci := pp.Infos[c]
@@ -85,7 +116,7 @@ func (x *Executor) Execute(pp *Plan) (*Result, error) {
 								m.Write(&x.Cluster.C, len(rows))
 								rel = relation{schema: c.Attrs, rows: rows}
 							} else {
-								rel = x.evalLocal(pp, c, node, m, rj.Op.JoinAttrs[0])
+								rel = x.evalLocal(pp, c, node, m, rj.Op.JoinAttrs[0], a)
 							}
 							for _, row := range rel.rows {
 								emit(mapreduce.Keyed{
@@ -98,8 +129,19 @@ func (x *Executor) Execute(pp *Plan) (*Result, error) {
 					}
 				},
 				Reduce: func(node int, m *mapreduce.Meter, groups map[string][]mapreduce.Keyed, out func(mapreduce.Row)) {
+					a := x.Ctx.arenaFor(node)
+					// Process groups in sorted key order: map iteration
+					// order would make the floating-point metering sums
+					// (and row order) vary run to run.
+					keys := make([]string, 0, len(groups))
+					for key := range groups {
+						keys = append(keys, key)
+					}
+					sort.Strings(keys)
 					perRJ := make(map[*Info][]relation)
-					for key, recs := range groups {
+					var rjOrder []*Info
+					for _, key := range keys {
+						recs := groups[key]
 						rj := byID[decodeGroup(key)]
 						rels := make([]relation, len(rj.Op.Children))
 						for i, c := range rj.Op.Children {
@@ -108,17 +150,20 @@ func (x *Executor) Execute(pp *Plan) (*Result, error) {
 						for _, rec := range recs {
 							rels[rec.Tag].rows = append(rels[rec.Tag].rows, rec.Row)
 						}
-						joined, counts := naryJoin(rels, rj.Op.JoinAttrs)
+						joined, counts := a.naryJoin(rels, rj.Op.JoinAttrs)
 						m.Join(&x.Cluster.C, counts.in+counts.out)
 						m.Write(&x.Cluster.C, counts.out)
 						if len(joined.rows) > 0 {
-							perRJ[rj] = append(perRJ[rj], conform(joined, rj.Op.Attrs))
+							if _, ok := perRJ[rj]; !ok {
+								rjOrder = append(rjOrder, rj)
+							}
+							perRJ[rj] = append(perRJ[rj], conform(a, joined, rj.Op.Attrs))
 						}
 					}
-					for rj, parts := range perRJ {
+					for _, rj := range rjOrder {
 						if isLast && rj.Op == pp.Root {
-							for _, rel := range parts {
-								proj := rel.project(q.Select)
+							for _, rel := range perRJ[rj] {
+								proj := rel.project(a, q.Select)
 								m.Check(&x.Cluster.C, len(proj.rows))
 								for _, r := range proj.rows {
 									out(r)
@@ -126,7 +171,7 @@ func (x *Executor) Execute(pp *Plan) (*Result, error) {
 							}
 							continue
 						}
-						for _, rel := range parts {
+						for _, rel := range perRJ[rj] {
 							interm[rj][node] = append(interm[rj][node], rel.rows...)
 						}
 					}
@@ -156,20 +201,21 @@ func (x *Executor) Execute(pp *Plan) (*Result, error) {
 // the partition variable context for scans: the attribute whose
 // partition replica the scan must read so co-located joins see
 // co-partitioned inputs. Map joins impose their own first join
-// attribute on their children.
-func (x *Executor) evalLocal(pp *Plan, op *core.Op, node int, m *mapreduce.Meter, coVar string) relation {
+// attribute on their children. It runs concurrently across nodes; all
+// mutable scratch lives in the node's arena.
+func (x *Executor) evalLocal(pp *Plan, op *core.Op, node int, m *mapreduce.Meter, coVar string, a *arena) relation {
 	switch op.Kind {
 	case core.OpMatch:
-		return x.scan(pp, op, node, m, coVar)
+		return x.scan(pp, op, node, m, coVar, a)
 	case core.OpJoin:
 		children := make([]relation, len(op.Children))
 		for i, c := range op.Children {
-			children[i] = x.evalLocal(pp, c, node, m, op.JoinAttrs[0])
+			children[i] = x.evalLocal(pp, c, node, m, op.JoinAttrs[0], a)
 		}
-		joined, counts := naryJoin(children, op.JoinAttrs)
+		joined, counts := a.naryJoin(children, op.JoinAttrs)
 		m.Join(&x.Cluster.C, counts.in+counts.out)
 		m.Write(&x.Cluster.C, counts.out)
-		return conform(joined, op.Attrs)
+		return conform(a, joined, op.Attrs)
 	}
 	panic(fmt.Sprintf("physical: evalLocal on %v", op.Kind))
 }
@@ -177,7 +223,12 @@ func (x *Executor) evalLocal(pp *Plan, op *core.Op, node int, m *mapreduce.Meter
 // scan reads one triple pattern's matching tuples from this node's
 // replica partitioned on coVar's position (Section 5.1 file layout),
 // applying the pattern's constant and repeated-variable filters.
-func (x *Executor) scan(pp *Plan, op *core.Op, node int, m *mapreduce.Meter, coVar string) relation {
+// Constant-bound patterns probe the dstore's secondary hash indexes
+// (the most selective constant's row-id list) instead of filtering the
+// file row by row; the metering is unchanged — the simulated Hadoop
+// mapper still reads and checks the whole file, the index only spares
+// the simulator's own CPU.
+func (x *Executor) scan(pp *Plan, op *core.Op, node int, m *mapreduce.Meter, coVar string, a *arena) relation {
 	tp := pp.Logical.Query.Patterns[op.Pattern]
 	pos := x.Part.ScanPos(scanPosition(tp, coVar))
 	rel := relation{schema: op.Attrs}
@@ -206,11 +257,11 @@ func (x *Executor) scan(pp *Plan, op *core.Op, node int, m *mapreduce.Meter, coV
 	}
 	varPos := make([]rdf.Pos, len(op.Attrs))
 	var repeats [][2]rdf.Pos
-	for i, a := range op.Attrs {
+	for i, attr := range op.Attrs {
 		first := rdf.Pos(255)
 		for _, p := range []rdf.Pos{rdf.SPos, rdf.PPos, rdf.OPos} {
 			pt := tp.At(p)
-			if pt.IsVar && pt.Var == a {
+			if pt.IsVar && pt.Var == attr {
 				if first == 255 {
 					first = p
 				} else {
@@ -223,6 +274,24 @@ func (x *Executor) scan(pp *Plan, op *core.Op, node int, m *mapreduce.Meter, coV
 
 	nd := x.Cluster.Store.Node(node)
 	needCheck := len(consts) > 0 || len(repeats) > 0
+	emitRow := func(t rdf.Triple) bool {
+		for _, cc := range consts {
+			if t.At(cc.pos) != cc.id {
+				return false
+			}
+		}
+		for _, rp := range repeats {
+			if t.At(rp[0]) != t.At(rp[1]) {
+				return false
+			}
+		}
+		outRow := a.newRow(len(varPos))
+		for i, p := range varPos {
+			outRow[i] = t.At(p)
+		}
+		rel.rows = append(rel.rows, outRow)
+		return true
+	}
 	for _, fname := range x.Part.Files(tp, pos, x.Dict) {
 		f, ok := nd.Get(fname)
 		if !ok {
@@ -232,24 +301,34 @@ func (x *Executor) scan(pp *Plan, op *core.Op, node int, m *mapreduce.Meter, coV
 		if needCheck {
 			m.Check(&x.Cluster.C, len(f.Rows))
 		}
-	rows:
+		// Indexed scan: probe the most selective constant's index,
+		// then verify the remaining filters on the candidates. A
+		// property constant is never probed — partition files hold a
+		// single property, so its index would be one entry listing
+		// every row (emitRow still re-checks it, cheaply).
+		var cand []int32
+		useIdx := false
+		for _, cc := range consts {
+			if cc.pos == rdf.PPos {
+				continue
+			}
+			ids := f.Lookup(int(cc.pos), cc.id)
+			if !useIdx || len(ids) < len(cand) {
+				cand, useIdx = ids, true
+			}
+			if len(cand) == 0 {
+				break
+			}
+		}
+		if useIdx {
+			for _, ri := range cand {
+				row := f.Rows[ri]
+				emitRow(rdf.Triple{S: row[0], P: row[1], O: row[2]})
+			}
+			continue
+		}
 		for _, row := range f.Rows {
-			t := rdf.Triple{S: row[0], P: row[1], O: row[2]}
-			for _, cc := range consts {
-				if t.At(cc.pos) != cc.id {
-					continue rows
-				}
-			}
-			for _, rp := range repeats {
-				if t.At(rp[0]) != t.At(rp[1]) {
-					continue rows
-				}
-			}
-			outRow := make(mapreduce.Row, len(varPos))
-			for i, p := range varPos {
-				outRow[i] = t.At(p)
-			}
-			rel.rows = append(rel.rows, outRow)
+			emitRow(rdf.Triple{S: row[0], P: row[1], O: row[2]})
 		}
 	}
 	return rel
@@ -275,16 +354,17 @@ func scanPosition(tp sparql.TriplePattern, coVar string) rdf.Pos {
 }
 
 // decodeGroup extracts the reduce-join ID from a shuffle key built by
-// mapreduce.EncodeKey.
+// mapreduce.EncodeKey, reading the little-endian prefix directly from
+// the string (no per-key byte-slice copy).
 func decodeGroup(key string) int {
-	return int(binary.LittleEndian.Uint32([]byte(key[:4])))
+	return int(uint32(key[0]) | uint32(key[1])<<8 | uint32(key[2])<<16 | uint32(key[3])<<24)
 }
 
 // conform projects a join output onto the operator's declared schema.
 // Without projection push-down the two coincide (the union of the
 // children's schemas); after core.PushProjections the operator schema
 // may be narrower.
-func conform(rel relation, attrs []string) relation {
+func conform(a *arena, rel relation, attrs []string) relation {
 	if len(rel.schema) == len(attrs) {
 		same := true
 		for i := range attrs {
@@ -297,5 +377,5 @@ func conform(rel relation, attrs []string) relation {
 			return rel
 		}
 	}
-	return rel.project(attrs)
+	return rel.project(a, attrs)
 }

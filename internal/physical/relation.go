@@ -1,6 +1,7 @@
 package physical
 
 import (
+	"encoding/binary"
 	"sort"
 
 	"cliquesquare/internal/mapreduce"
@@ -38,23 +39,48 @@ type joinCounts struct {
 	in, out int
 }
 
+// appendRowKey appends the little-endian encoding of the row's cols to
+// buf: the allocation-free core of mapreduce.EncodeKey for keys that
+// never leave the local join.
+func appendRowKey(buf []byte, row mapreduce.Row, cols []int) []byte {
+	for _, c := range cols {
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(row[c]))
+	}
+	return buf
+}
+
 // naryJoin computes the n-ary equality join of children on joinAttrs,
 // additionally enforcing equality on every attribute shared by two or
 // more children (the folded residual selection). The output schema is
-// the sorted union of the child schemas.
-func naryJoin(children []relation, joinAttrs []string) (relation, joinCounts) {
+// the sorted union of the child schemas. Hash tables, cursors and key
+// buffers come from the arena and are reused across calls; output rows
+// come from the arena's slab.
+func (a *arena) naryJoin(children []relation, joinAttrs []string) (relation, joinCounts) {
 	var counts joinCounts
 	out := relation{schema: unionSchema(children)}
 	if len(children) == 0 {
 		return out, counts
 	}
+	nc := len(children)
+	a.grow(nc)
+
 	// Hash every child on the join attributes.
-	tables := make([]map[string][]mapreduce.Row, len(children))
 	for i := range children {
-		tables[i] = make(map[string][]mapreduce.Row, len(children[i].rows))
+		cols := a.colIdx[i][:0]
+		for _, attr := range joinAttrs {
+			cols = append(cols, children[i].col(attr))
+		}
+		a.colIdx[i] = cols
+		tbl := a.tables[i]
+		if tbl == nil {
+			tbl = make(map[string][]mapreduce.Row, len(children[i].rows))
+			a.tables[i] = tbl
+		} else {
+			clear(tbl)
+		}
 		for _, row := range children[i].rows {
-			k := mapreduce.EncodeKey(0, children[i].key(row, joinAttrs))
-			tables[i][k] = append(tables[i][k], row)
+			a.keyBuf = appendRowKey(a.keyBuf[:0], row, cols)
+			tbl[string(a.keyBuf)] = append(tbl[string(a.keyBuf)], row)
 			counts.in++
 		}
 	}
@@ -64,13 +90,13 @@ func naryJoin(children []relation, joinAttrs []string) (relation, joinCounts) {
 
 	// Iterate the first child's keys; every key present in all children
 	// produces the consistent combinations of the per-child groups.
-	group := make([]mapreduce.Row, len(children))
-	for k, rows0 := range tables[0] {
-		lists := make([][]mapreduce.Row, len(children))
+	group := a.group[:nc]
+	lists := a.lists[:nc]
+	for k, rows0 := range a.tables[0] {
 		lists[0] = rows0
 		ok := true
-		for i := 1; i < len(children); i++ {
-			l, present := tables[i][k]
+		for i := 1; i < nc; i++ {
+			l, present := a.tables[i][k]
 			if !present {
 				ok = false
 				break
@@ -86,13 +112,20 @@ func naryJoin(children []relation, joinAttrs []string) (relation, joinCounts) {
 					return
 				}
 			}
-			row := make(mapreduce.Row, len(out.schema))
+			row := a.newRow(len(out.schema))
 			for i := range out.schema {
 				row[i] = group[srcChild[i]][srcCol[i]]
 			}
 			out.rows = append(out.rows, row)
 			counts.out++
 		})
+	}
+	// Drop references to this join's inputs so pooled arenas don't pin
+	// a finished query's intermediate rows until their next reuse.
+	for i := 0; i < nc; i++ {
+		clear(a.tables[i])
+		lists[i] = nil
+		group[i] = nil
 	}
 	return out, counts
 }
@@ -165,15 +198,16 @@ func residualChecks(schema []string, children []relation, srcChild, srcCol []int
 }
 
 // project returns rows restricted to attrs (which must exist in r's
-// schema), without deduplication.
-func (r *relation) project(attrs []string) relation {
+// schema), without deduplication. Output rows come from the arena's
+// slab when one is provided.
+func (r *relation) project(a *arena, attrs []string) relation {
 	cols := make([]int, len(attrs))
-	for i, a := range attrs {
-		cols[i] = r.col(a)
+	for i, at := range attrs {
+		cols[i] = r.col(at)
 	}
 	out := relation{schema: append([]string(nil), attrs...)}
 	for _, row := range r.rows {
-		nr := make(mapreduce.Row, len(cols))
+		nr := a.newRow(len(cols))
 		for i, c := range cols {
 			nr[i] = row[c]
 		}

@@ -7,6 +7,7 @@ package csq
 
 import (
 	"fmt"
+	"sync"
 	"time"
 
 	"cliquesquare/internal/core"
@@ -41,6 +42,14 @@ type Config struct {
 	// paper's three-replica layout. SubjectOnly is the single-replica
 	// ablation: only s-s first-level joins stay map-side.
 	Partitioning partition.Mode
+	// Parallelism bounds the worker pool the runtime uses for per-node
+	// phases; 0 means GOMAXPROCS.
+	Parallelism int
+	// Sequential forces the single-goroutine runtime (results and
+	// stats are identical either way; this is the debugging baseline).
+	Sequential bool
+	// StatsSink, if non-nil, receives each job's stats as it completes.
+	StatsSink func(mapreduce.JobStats)
 }
 
 // DefaultConfig mirrors the paper's setup: 7 nodes, MSC.
@@ -61,6 +70,10 @@ type Engine struct {
 	graph *rdf.Graph
 	store *dstore.Store
 	part  *partition.Partitioner
+	// ctxPool recycles ExecContexts (and their per-node scratch
+	// arenas) across plan executions; concurrent executions each get
+	// their own context.
+	ctxPool sync.Pool
 }
 
 // New partitions g across the configured cluster and returns the
@@ -113,10 +126,26 @@ func (e *Engine) Plan(q *sparql.Query) (*core.Plan, *physical.Plan, *core.Result
 	return best, pp, res, nil
 }
 
-// ExecutePlan runs an already-compiled plan on a fresh cluster clock.
+// execContext takes a context from the pool (or builds one from the
+// config) for one plan execution.
+func (e *Engine) execContext() *physical.ExecContext {
+	if c, ok := e.ctxPool.Get().(*physical.ExecContext); ok && c != nil {
+		return c
+	}
+	return &physical.ExecContext{
+		Parallelism: e.cfg.Parallelism,
+		Sequential:  e.cfg.Sequential,
+		StatsSink:   e.cfg.StatsSink,
+	}
+}
+
+// ExecutePlan runs an already-compiled plan on a fresh cluster clock,
+// with per-node phases executed concurrently (per Config.Parallelism).
 func (e *Engine) ExecutePlan(pp *physical.Plan) (*physical.Result, error) {
+	ctx := e.execContext()
+	defer e.ctxPool.Put(ctx)
 	cl := mapreduce.NewCluster(e.store, e.cfg.Constants)
-	x := &physical.Executor{Cluster: cl, Part: e.part, Dict: e.graph.Dict}
+	x := &physical.Executor{Cluster: cl, Part: e.part, Dict: e.graph.Dict, Ctx: ctx}
 	return x.Execute(pp)
 }
 
