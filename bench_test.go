@@ -221,6 +221,52 @@ func BenchmarkParallelVsSequential(b *testing.B) {
 	b.Run("sequential", func(b *testing.B) { benchExecuteWorkload(b, true) })
 }
 
+// shuffleHeavyPlan compiles the LUBM workload's most shuffle-intensive
+// plan: the best binary *linear* plan with the most reduce-join levels,
+// so every level re-shuffles the previous job's intermediate result (a
+// multi-level reduce-join pipeline, the data path the paper's height
+// argument is about).
+func shuffleHeavyPlan(b *testing.B, cfg csq.Config, g *Graph) *physical.Plan {
+	b.Helper()
+	var best *physical.Plan
+	for _, q := range lubm.Queries() {
+		if len(q.Patterns) < 2 {
+			continue
+		}
+		model := cost.NewModel(cfg.Constants, cost.NewStats(g, q))
+		linear, err := binplan.BestLinear(q, model)
+		if err != nil {
+			b.Fatal(err)
+		}
+		pp, err := physical.Compile(linear)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if best == nil || len(pp.Levels) > len(best.Levels) {
+			best = pp
+		}
+	}
+	return best
+}
+
+// BenchmarkShuffleHeavy measures the per-record shuffle data path:
+// executing a multi-level reduce-join LUBM plan, where nearly all real
+// CPU goes to keying, routing, grouping and joining shuffled records.
+func BenchmarkShuffleHeavy(b *testing.B) {
+	g := lubmGraph(6)
+	cfg := csq.DefaultConfig()
+	eng := csq.New(g, cfg)
+	pp := shuffleHeavyPlan(b, cfg, g)
+	b.ReportMetric(float64(len(pp.Levels)), "levels")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := eng.ExecutePlan(pp); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // BenchmarkFig8Bounds evaluates the closed-form decomposition bounds.
 func BenchmarkFig8Bounds(b *testing.B) {
 	for i := 0; i < b.N; i++ {

@@ -1,0 +1,156 @@
+package cliquesquare
+
+// Golden pin of the simulated runtime's observable behaviour: per-query
+// JobStats (including the floating-point simulated times) and a hash of
+// the sorted result rows over the LUBM workload, for both the
+// MSC-chosen flat plans and the best binary linear plans (whose extra
+// join levels exercise the intermediate re-shuffle path). The file was
+// captured from the seed string-keyed runtime; any rewrite of the
+// shuffle data path must reproduce it byte for byte.
+//
+// Regenerate (only when the simulation model itself changes, never to
+// paper over a runtime refactor) with:
+//
+//	go test -run TestRuntimeGolden -update-golden .
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"encoding/json"
+	"flag"
+	"os"
+	"reflect"
+	"testing"
+
+	"cliquesquare/internal/binplan"
+	"cliquesquare/internal/cost"
+	"cliquesquare/internal/lubm"
+	"cliquesquare/internal/mapreduce"
+	"cliquesquare/internal/physical"
+	"cliquesquare/internal/systems/csq"
+)
+
+var updateGolden = flag.Bool("update-golden", false, "rewrite testdata/lubm_runtime_golden.json from the current runtime")
+
+const goldenPath = "testdata/lubm_runtime_golden.json"
+
+type goldenQuery struct {
+	Rows    int                  `json:"rows"`
+	RowHash string               `json:"row_hash"`
+	Jobs    []mapreduce.JobStats `json:"jobs"`
+}
+
+type goldenWorkload struct {
+	Flat   map[string]goldenQuery `json:"flat"`
+	Linear map[string]goldenQuery `json:"linear"`
+}
+
+// hashRows digests result rows (already deduplicated and sorted by the
+// executor) as length-prefixed little-endian cells.
+func hashRows(rows []mapreduce.Row) string {
+	h := sha256.New()
+	var buf [4]byte
+	for _, row := range rows {
+		binary.LittleEndian.PutUint32(buf[:], uint32(len(row)))
+		h.Write(buf[:])
+		for _, v := range row {
+			binary.LittleEndian.PutUint32(buf[:], uint32(v))
+			h.Write(buf[:])
+		}
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+func captureWorkload(t *testing.T) goldenWorkload {
+	t.Helper()
+	g := lubm.Generate(lubm.DefaultConfig(2))
+	cfg := csq.DefaultConfig()
+	eng := csq.New(g, cfg)
+	got := goldenWorkload{
+		Flat:   make(map[string]goldenQuery),
+		Linear: make(map[string]goldenQuery),
+	}
+	record := func(m map[string]goldenQuery, name string, pp *physical.Plan) {
+		r, err := eng.ExecutePlan(pp)
+		if err != nil {
+			t.Fatalf("%s: execute: %v", name, err)
+		}
+		m[name] = goldenQuery{Rows: len(r.Rows), RowHash: hashRows(r.Rows), Jobs: r.Jobs}
+	}
+	for _, q := range lubm.Queries() {
+		_, pp, _, err := eng.Plan(q)
+		if err != nil {
+			t.Fatalf("%s: plan: %v", q.Name, err)
+		}
+		record(got.Flat, q.Name, pp)
+
+		if len(q.Patterns) < 2 {
+			continue
+		}
+		model := cost.NewModel(cfg.Constants, cost.NewStats(g, q))
+		linear, err := binplan.BestLinear(q, model)
+		if err != nil {
+			t.Fatalf("%s: linear plan: %v", q.Name, err)
+		}
+		linearPP, err := physical.Compile(linear)
+		if err != nil {
+			t.Fatalf("%s: compile linear: %v", q.Name, err)
+		}
+		record(got.Linear, q.Name, linearPP)
+	}
+	return got
+}
+
+// TestRuntimeGolden asserts the runtime reproduces the pinned seed
+// behaviour: identical result rows (count and content hash) and
+// byte-identical JobStats for every LUBM query under flat and linear
+// plans.
+func TestRuntimeGolden(t *testing.T) {
+	got := captureWorkload(t)
+	if *updateGolden {
+		data, err := json.MarshalIndent(got, "", "  ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(goldenPath, append(data, '\n'), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("wrote %s", goldenPath)
+		return
+	}
+	data, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatalf("read golden (run with -update-golden to create): %v", err)
+	}
+	var want goldenWorkload
+	if err := json.Unmarshal(data, &want); err != nil {
+		t.Fatal(err)
+	}
+	for _, variant := range []struct {
+		name      string
+		got, want map[string]goldenQuery
+	}{{"flat", got.Flat, want.Flat}, {"linear", got.Linear, want.Linear}} {
+		if len(variant.got) != len(variant.want) {
+			t.Errorf("%s: %d queries captured, golden has %d", variant.name, len(variant.got), len(variant.want))
+		}
+		for name, w := range variant.want {
+			g, ok := variant.got[name]
+			if !ok {
+				t.Errorf("%s/%s: missing from capture", variant.name, name)
+				continue
+			}
+			if g.Rows != w.Rows || g.RowHash != w.RowHash {
+				t.Errorf("%s/%s: rows %d hash %s, golden rows %d hash %s",
+					variant.name, name, g.Rows, g.RowHash, w.Rows, w.RowHash)
+			}
+			if !reflect.DeepEqual(g.Jobs, w.Jobs) {
+				t.Errorf("%s/%s: job stats differ:\ngot    %+v\ngolden %+v",
+					variant.name, name, g.Jobs, w.Jobs)
+			}
+		}
+	}
+}

@@ -1,0 +1,278 @@
+package mapreduce
+
+import "math/bits"
+
+// inlineCells is how many key cells a Key stores without touching the
+// heap. CliqueSquare reduce joins key on a clique's shared variables —
+// almost always one attribute, occasionally two or three — so four
+// inline cells make the shuffle path allocation-free in practice;
+// wider keys spill their tail to a slice.
+const inlineCells = 4
+
+// FNV-1a parameters (hash/fnv's constants, inlined so hashing a key
+// needs no hasher object and no byte-slice materialization).
+const (
+	fnv32Offset = 2166136261
+	fnv32Prime  = 16777619
+)
+
+// Key is a packed shuffle key: the group identifier (which reduce join
+// the record belongs to) plus the key-attribute cells, with a 64-bit
+// hash precomputed at construction. The low 32 bits of the hash are
+// the FNV-1a-32 of the key's string encoding (EncodeKey), i.e. exactly
+// what the seed runtime's hasher-object routing computed — so node
+// placement, and with it every simulated statistic, is byte-identical
+// to the string-keyed runtime. The high bits are a multiplicative mix
+// of it for hash-table consumers that want more than 32 bits.
+type Key struct {
+	hash  uint64
+	group uint32
+	n     uint32
+	cells [inlineCells]uint32
+	extra []uint32 // cells[inlineCells:] for wide keys
+}
+
+// hashCell folds one cell's four little-endian bytes into the FNV-1a
+// accumulator (the byte order EncodeKey serializes).
+func hashCell(h32, v uint32) uint32 {
+	for i := 0; i < 4; i++ {
+		h32 = (h32 ^ (v & 0xFF)) * fnv32Prime
+		v >>= 8
+	}
+	return h32
+}
+
+// extendHash widens the route hash to 64 bits: the low word is the
+// FNV-1a-32 itself (preserving routing identity with the seed
+// runtime), the high word a multiplicative mix of it for consumers
+// wanting more spread — one hash accumulation per byte, not two.
+func extendHash(h32 uint32) uint64 {
+	x := uint64(h32) * 0x9E3779B97F4A7C15
+	return uint64(h32) | (x & 0xFFFFFFFF00000000)
+}
+
+// MakeKey packs group and cells into a Key. It does not retain cells;
+// callers may reuse the slice. Keys of up to inlineCells cells are
+// built without allocating.
+func MakeKey(group uint32, cells []uint32) Key {
+	k := Key{group: group, n: uint32(len(cells))}
+	h32 := hashCell(fnv32Offset, group)
+	if len(cells) > inlineCells {
+		k.extra = make([]uint32, len(cells)-inlineCells)
+	}
+	for i, v := range cells {
+		if i < inlineCells {
+			k.cells[i] = v
+		} else {
+			k.extra[i-inlineCells] = v
+		}
+		h32 = hashCell(h32, v)
+	}
+	k.hash = extendHash(h32)
+	return k
+}
+
+// MakeRowKey packs the values of row at columns cols into a key: the
+// common "key a tuple on its join columns" path, with the
+// single-column case (the dominant key shape) fast-pathed.
+// Allocation-free up to inlineCells columns.
+func MakeRowKey(group uint32, row Row, cols []int) Key {
+	if len(cols) == 1 {
+		return MakeKey1(group, uint32(row[cols[0]]))
+	}
+	k := Key{group: group, n: uint32(len(cols))}
+	h32 := hashCell(fnv32Offset, group)
+	if len(cols) > inlineCells {
+		k.extra = make([]uint32, len(cols)-inlineCells)
+	}
+	for i, c := range cols {
+		v := uint32(row[c])
+		if i < inlineCells {
+			k.cells[i] = v
+		} else {
+			k.extra[i-inlineCells] = v
+		}
+		h32 = hashCell(h32, v)
+	}
+	k.hash = extendHash(h32)
+	return k
+}
+
+// MakeKey1 is the single-cell fast path (the dominant key shape:
+// reduce joins on one shared variable).
+func MakeKey1(group, cell uint32) Key {
+	k := Key{group: group, n: 1}
+	k.cells[0] = cell
+	k.hash = extendHash(hashCell(hashCell(fnv32Offset, group), cell))
+	return k
+}
+
+// Group returns the group identifier.
+func (k *Key) Group() uint32 { return k.group }
+
+// Len returns the number of key cells.
+func (k *Key) Len() int { return int(k.n) }
+
+// Cell returns the i-th key cell.
+func (k *Key) Cell(i int) uint32 {
+	if i < inlineCells {
+		return k.cells[i]
+	}
+	return k.extra[i-inlineCells]
+}
+
+// Hash returns the precomputed 64-bit hash (low 32 bits: FNV-1a-32 of
+// the seed string encoding).
+func (k *Key) Hash() uint64 { return k.hash }
+
+// route picks the destination node, identically to the seed runtime's
+// fnv.New32a over the encoded key string.
+func (k *Key) route(n int) int {
+	return int(uint32(k.hash)&0x7FFFFFFF) % n
+}
+
+// Equal reports exact key equality (same group and cells).
+func (k *Key) Equal(o *Key) bool {
+	if k.hash != o.hash || k.group != o.group || k.n != o.n {
+		return false
+	}
+	for i := 0; i < int(k.n); i++ {
+		if k.Cell(i) != o.Cell(i) {
+			return false
+		}
+	}
+	return true
+}
+
+// keyLane is the radix-sort view of a key: a sequence of 32-bit lanes
+// — the byte-swapped group at depth 0, then each byte-swapped cell —
+// with -1 past the end. Byte-swapping makes numeric lane order equal
+// byte order of the little-endian string encoding, and exhausted keys
+// ordering first matches shorter-string-first: lane order is exactly
+// the seed's sort.Strings order over encoded keys, which the metering
+// sums were accumulated in.
+func keyLane(k *Key, d int) int64 {
+	if d == 0 {
+		return int64(bits.ReverseBytes32(k.group))
+	}
+	if c := d - 1; c < int(k.n) {
+		return int64(bits.ReverseBytes32(k.Cell(c)))
+	}
+	return -1
+}
+
+// compareFrom compares two keys lane by lane starting at depth d.
+func compareFrom(a, b *Key, d int) int {
+	for {
+		la, lb := keyLane(a, d), keyLane(b, d)
+		if la != lb {
+			if la < lb {
+				return -1
+			}
+			return 1
+		}
+		if la == -1 {
+			return 0
+		}
+		d++
+	}
+}
+
+// Compare orders keys in canonical order: the byte order of their seed
+// string encodings.
+func (k *Key) Compare(o *Key) int { return compareFrom(k, o, 0) }
+
+// sortRecords sorts shuffled records into canonical key order with a
+// three-way radix quicksort (Bentley–Sedgewick multikey quicksort)
+// over the key lanes: records with equal lane values are partitioned
+// together and recurse one lane deeper, so common prefixes — every
+// record of one reduce join shares the group lane — are compared once
+// per partition, not once per pair.
+func sortRecords(recs []Keyed) { radixSort(recs, 0) }
+
+func radixSort(recs []Keyed, d int) {
+	for len(recs) > 1 {
+		if len(recs) <= 16 {
+			insertionSort(recs, d)
+			return
+		}
+		p := medianLane(recs, d)
+		lt, gt := partition3(recs, d, p)
+		radixSort(recs[:lt], d)
+		if p != -1 {
+			radixSort(recs[lt:gt], d+1)
+		}
+		recs = recs[gt:]
+	}
+}
+
+// partition3 is a Dutch-national-flag partition of recs by the lane-d
+// value against pivot: returns the bounds of the equal region.
+func partition3(recs []Keyed, d int, pivot int64) (lt, gt int) {
+	lt, gt = 0, len(recs)
+	for i := lt; i < gt; {
+		v := keyLane(&recs[i].Key, d)
+		switch {
+		case v < pivot:
+			recs[lt], recs[i] = recs[i], recs[lt]
+			lt++
+			i++
+		case v > pivot:
+			gt--
+			recs[i], recs[gt] = recs[gt], recs[i]
+		default:
+			i++
+		}
+	}
+	return lt, gt
+}
+
+func medianLane(recs []Keyed, d int) int64 {
+	a := keyLane(&recs[0].Key, d)
+	b := keyLane(&recs[len(recs)/2].Key, d)
+	c := keyLane(&recs[len(recs)-1].Key, d)
+	if a > b {
+		a, b = b, a
+	}
+	if b > c {
+		b = c
+		if a > b {
+			b = a
+		}
+	}
+	return b
+}
+
+func insertionSort(recs []Keyed, d int) {
+	for i := 1; i < len(recs); i++ {
+		for j := i; j > 0 && compareFrom(&recs[j].Key, &recs[j-1].Key, d) < 0; j-- {
+			recs[j], recs[j-1] = recs[j-1], recs[j]
+		}
+	}
+}
+
+// Groups is a reduce task's input: the records routed to one node,
+// sorted so equal keys are adjacent and groups appear in canonical key
+// order — the order the seed runtime produced by sort.Strings over its
+// string keys, preserved so floating-point metering sums accumulate
+// identically.
+type Groups struct {
+	recs []Keyed
+}
+
+// Records returns the total number of records across all groups.
+func (g *Groups) Records() int { return len(g.recs) }
+
+// Each calls fn once per distinct key with the records carrying it, in
+// canonical key order. The slice passed to fn aliases the shuffle
+// buffer and is only valid during the call.
+func (g *Groups) Each(fn func(key *Key, recs []Keyed)) {
+	for i := 0; i < len(g.recs); {
+		j := i + 1
+		for j < len(g.recs) && g.recs[j].Key.Equal(&g.recs[i].Key) {
+			j++
+		}
+		fn(&g.recs[i].Key, g.recs[i:j])
+		i = j
+	}
+}

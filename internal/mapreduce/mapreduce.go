@@ -10,7 +10,6 @@ package mapreduce
 
 import (
 	"encoding/binary"
-	"hash/fnv"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -21,10 +20,12 @@ import (
 // Row is a tuple flowing through a job.
 type Row = dstore.Row
 
-// Keyed is a shuffled record: a grouping key, an input tag (which join
-// input the row belongs to) and the row itself.
+// Keyed is a shuffled record: a packed grouping key (built with
+// MakeKey/MakeKey1), an input tag (which join input the row belongs
+// to) and the row itself. Emitting one costs no heap allocation for
+// keys up to inlineCells cells wide.
 type Keyed struct {
-	Key string
+	Key Key
 	Tag int
 	Row Row
 }
@@ -75,13 +76,13 @@ func (m *Meter) Total() float64 { return m.IO + m.CPU + m.Net }
 // Job describes one MapReduce job. Map runs once per node; it may emit
 // keyed records into the shuffle and/or write rows to the job's direct
 // output (map-only output). Reduce, if non-nil, runs once per node over
-// the keyed records routed to it (grouped by exact key) and writes rows
-// to the job's output. The closures must charge their work to the
-// provided Meter.
+// the keyed records routed to it, grouped by exact key and presented in
+// canonical key order through the Groups iterator. The closures must
+// charge their work to the provided Meter.
 type Job struct {
 	Name   string
 	Map    func(node int, m *Meter, emit func(Keyed), out func(Row))
-	Reduce func(node int, m *Meter, groups map[string][]Keyed, out func(Row))
+	Reduce func(node int, m *Meter, groups *Groups, out func(Row))
 }
 
 // JobStats records one executed job's simulated timing.
@@ -150,9 +151,10 @@ type Output struct {
 	PerNode [][]Row
 }
 
-// Rows returns all output rows concatenated in node order.
+// Rows returns all output rows concatenated in node order, in one
+// exactly-sized allocation.
 func (o *Output) Rows() []Row {
-	var out []Row
+	out := make([]Row, 0, o.Len())
 	for _, rs := range o.PerNode {
 		out = append(out, rs...)
 	}
@@ -198,7 +200,7 @@ func (cl *Cluster) Run(job Job) *Output {
 	shuffled := make([][]Keyed, n) // destination node -> records
 	for node := 0; node < n; node++ {
 		for _, k := range emitted[node] {
-			dest := routeKey(k.Key) % n
+			dest := k.Key.route(n)
 			shuffled[dest] = append(shuffled[dest], k)
 			stats.Shuffled++
 			stats.ShuffledCells += len(k.Row)
@@ -220,15 +222,16 @@ func (cl *Cluster) Run(job Job) *Output {
 		}
 		cl.forEachNode(n, func(node int) {
 			shufMeters[node].Shuffle(&cl.C, len(shuffled[node]))
-			groups := make(map[string][]Keyed, len(shuffled[node]))
-			for _, k := range shuffled[node] {
-				groups[k.Key] = append(groups[k.Key], k)
-			}
+			// Group by sorting the node's records into canonical key
+			// order: equal keys become adjacent runs, with no per-key
+			// map insert and no key-slice sort on the reduce side.
+			sortRecords(shuffled[node])
+			groups := Groups{recs: shuffled[node]}
 			output := func(r Row) {
 				out.PerNode[node] = append(out.PerNode[node], r)
 				outputs[node]++
 			}
-			job.Reduce(node, &redMeters[node], groups, output)
+			job.Reduce(node, &redMeters[node], &groups, output)
 		})
 		for node := 0; node < n; node++ {
 			if t := shufMeters[node].Total(); t > stats.ShuffleTime {
@@ -310,10 +313,11 @@ func (cl *Cluster) Reset() {
 	cl.totalWork = 0
 }
 
-// EncodeKey builds a shuffle key from a group identifier and attribute
-// values. Exact byte equality of keys means exact equality of values,
-// so reduce-side grouping is collision-free; node routing hashes the
-// key.
+// EncodeKey builds the seed runtime's string shuffle key from a group
+// identifier and attribute values. The execution path now uses packed
+// Keys (MakeKey); this encoding is retained as the reference
+// representation — property tests compare the binary path against it,
+// and the baseline simulators use it for distinct-row counting.
 func EncodeKey(group int, vals []uint32) string {
 	buf := make([]byte, 4+4*len(vals))
 	binary.LittleEndian.PutUint32(buf, uint32(group))
@@ -323,8 +327,14 @@ func EncodeKey(group int, vals []uint32) string {
 	return string(buf)
 }
 
-func routeKey(k string) int {
-	h := fnv.New32a()
-	h.Write([]byte(k))
-	return int(h.Sum32() & 0x7FFFFFFF)
+// Encode renders the key as its seed string encoding (EncodeKey of its
+// group and cells): the reference representation tests compare
+// against.
+func (k *Key) Encode() string {
+	buf := make([]byte, 4+4*k.n)
+	binary.LittleEndian.PutUint32(buf, k.group)
+	for i := 0; i < int(k.n); i++ {
+		binary.LittleEndian.PutUint32(buf[4+4*i:], k.Cell(i))
+	}
+	return string(buf)
 }

@@ -53,13 +53,13 @@ func TestShuffleGroupsByExactKey(t *testing.T) {
 	out := cl.Run(Job{
 		Name: "group",
 		Map: func(node int, m *Meter, emit func(Keyed), out func(Row)) {
-			emit(Keyed{Key: EncodeKey(0, []uint32{uint32(node % 2)}), Tag: 0, Row: Row{rdf.TermID(node)}})
+			emit(Keyed{Key: MakeKey1(0, uint32(node%2)), Tag: 0, Row: Row{rdf.TermID(node)}})
 		},
-		Reduce: func(node int, m *Meter, groups map[string][]Keyed, out func(Row)) {
-			for _, recs := range groups {
+		Reduce: func(node int, m *Meter, groups *Groups, out func(Row)) {
+			groups.Each(func(_ *Key, recs []Keyed) {
 				groupsSeen++
 				out(Row{rdf.TermID(len(recs))})
-			}
+			})
 		},
 	})
 	if groupsSeen != 2 {
@@ -128,10 +128,51 @@ func TestReset(t *testing.T) {
 
 func TestRoutingDeterministic(t *testing.T) {
 	for i := 0; i < 10; i++ {
-		k := EncodeKey(i, []uint32{uint32(i * 7)})
-		if routeKey(k) != routeKey(k) {
-			t.Fatal("routeKey not deterministic")
+		k := MakeKey1(uint32(i), uint32(i*7))
+		if k.route(7) != k.route(7) {
+			t.Fatal("route not deterministic")
 		}
+	}
+}
+
+// TestRoutingMatchesReference asserts the inline routing hash lands
+// every key on the node the seed's hasher-object routing picked.
+func TestRoutingMatchesReference(t *testing.T) {
+	f := func(group uint16, cells []uint32, n uint8) bool {
+		nodes := int(n%16) + 1
+		k := MakeKey(uint32(group), cells)
+		return k.route(nodes) == ReferenceRoute(k.Encode())%nodes
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestKeyEncodeMatchesEncodeKey pins the packed key's reference
+// encoding, equality and ordering to the seed string representation.
+func TestKeyEncodeMatchesEncodeKey(t *testing.T) {
+	f := func(g1, g2 uint16, c1, c2 []uint32) bool {
+		k1 := MakeKey(uint32(g1), c1)
+		k2 := MakeKey(uint32(g2), c2)
+		s1, s2 := EncodeKey(int(g1), c1), EncodeKey(int(g2), c2)
+		if k1.Encode() != s1 || k2.Encode() != s2 {
+			return false
+		}
+		if k1.Equal(&k2) != (s1 == s2) {
+			return false
+		}
+		cmp := k1.Compare(&k2)
+		switch {
+		case s1 < s2:
+			return cmp < 0
+		case s1 > s2:
+			return cmp > 0
+		default:
+			return cmp == 0
+		}
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
 	}
 }
 
@@ -158,17 +199,17 @@ func countJob(cl *Cluster) Job {
 			for i := 0; i < 50; i++ {
 				m.Read(&cl.C, 1)
 				emit(Keyed{
-					Key: EncodeKey(0, []uint32{uint32((node*50 + i) % 13)}),
+					Key: MakeKey1(0, uint32((node*50+i)%13)),
 					Tag: 0,
 					Row: Row{rdf.TermID(node), rdf.TermID(i)},
 				})
 			}
 		},
-		Reduce: func(node int, m *Meter, groups map[string][]Keyed, out func(Row)) {
-			for _, recs := range groups {
+		Reduce: func(node int, m *Meter, groups *Groups, out func(Row)) {
+			groups.Each(func(_ *Key, recs []Keyed) {
 				m.Join(&cl.C, len(recs))
 				out(Row{rdf.TermID(len(recs))})
-			}
+			})
 		},
 	}
 }

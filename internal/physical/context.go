@@ -40,18 +40,24 @@ func (c *ExecContext) ensureNodes(n int) {
 // runs on a single goroutine, so the arena needs no locking.
 func (c *ExecContext) arenaFor(node int) *arena { return c.arenas[node] }
 
-// arena is one node's reusable scratch for local join evaluation: the
-// hash tables, cursor slices and key buffer naryJoin needs per call,
-// plus a slab allocator for output rows. Scratch buffers are reused
-// across calls; slab rows are never reused (they escape into relations
-// and results), only allocated in large chunks.
+// arena is one node's reusable scratch for local evaluation: the join
+// tables, cursor slices and key-cell buffers naryJoin and the shuffle
+// emitters need per call, scan filter scratch, plus a slab allocator
+// for output rows. Scratch buffers are reused across calls; slab rows
+// are never reused (they escape into relations and results), only
+// allocated in large chunks.
 type arena struct {
-	keyBuf []byte
-	tables []map[string][]mapreduce.Row
-	colIdx [][]int
-	lists  [][]mapreduce.Row
-	group  []mapreduce.Row
-	slab   []rdf.TermID
+	tables   []*joinTable
+	colIdx   [][]int
+	lists    [][]mapreduce.Row
+	group    []mapreduce.Row
+	slab     []rdf.TermID
+	emitCols []int // shuffle-key column indexes, hoisted per relation
+
+	// scan filter scratch (Executor.scan).
+	scanConsts  []constCheck
+	scanRepeats [][2]rdf.Pos
+	scanVarPos  []rdf.Pos
 }
 
 const slabChunk = 8192
@@ -77,11 +83,163 @@ func (a *arena) newRow(w int) mapreduce.Row {
 // grow sizes the per-child scratch slices for a join of nc inputs.
 func (a *arena) grow(nc int) {
 	for len(a.tables) < nc {
-		a.tables = append(a.tables, nil)
+		a.tables = append(a.tables, &joinTable{})
 		a.colIdx = append(a.colIdx, nil)
 		a.lists = append(a.lists, nil)
 	}
 	if cap(a.group) < nc {
 		a.group = make([]mapreduce.Row, nc)
 	}
+}
+
+// joinTable is an open-addressing hash table over one join child's
+// rows, grouped by join key. Buckets index entries; after build, each
+// entry owns a contiguous span of the child's rows laid out grouped by
+// key (CSR layout), so a probe returns a ready []Row with no per-key
+// allocation. Keys are hashed and compared directly on the rows' cells
+// — the specialized equivalent of a map[uint32][]Row for the dominant
+// single-attribute join, generalizing to multi-attribute keys. All
+// storage is arena-owned and reused across joins.
+type joinTable struct {
+	mask    uint32
+	buckets []int32  // entry index + 1; 0 = empty
+	hashes  []uint64 // per entry: full key hash
+	rep     []int32  // per entry: first row carrying the key
+	off     []int32  // per entry +1: CSR offsets into ordered
+	cnt     []int32  // build scratch: per entry count, then fill cursor
+	rowEnt  []int32  // build scratch: per row, its entry
+	ordered []mapreduce.Row
+	rows    []mapreduce.Row // the build child's rows (pinned until release)
+	cols    []int           // join-key columns in the child's schema
+}
+
+// mix64 is a splitmix64-style finalizer giving the table good low bits
+// from the FNV word folding.
+func mix64(x uint64) uint64 {
+	x ^= x >> 33
+	x *= 0xff51afd7ed558ccd
+	x ^= x >> 33
+	x *= 0xc4ceb9fe1a85ec53
+	x ^= x >> 33
+	return x
+}
+
+// hashRowKey hashes the join-key cells of row, with a branch-free fast
+// path for single-attribute keys.
+func hashRowKey(row mapreduce.Row, cols []int) uint64 {
+	if len(cols) == 1 {
+		return mix64(uint64(uint32(row[cols[0]])))
+	}
+	h := uint64(14695981039346656037)
+	for _, c := range cols {
+		h = (h ^ uint64(uint32(row[c]))) * 1099511628211
+	}
+	return mix64(h)
+}
+
+// keyEqual compares row a's key (columns ca) with row b's (columns cb).
+func keyEqual(a mapreduce.Row, ca []int, b mapreduce.Row, cb []int) bool {
+	for i := range ca {
+		if a[ca[i]] != b[cb[i]] {
+			return false
+		}
+	}
+	return true
+}
+
+// build indexes rows by their key columns.
+func (t *joinTable) build(rows []mapreduce.Row, cols []int) {
+	t.rows = rows
+	t.cols = append(t.cols[:0], cols...)
+	size := 8
+	for size < 2*len(rows) {
+		size <<= 1
+	}
+	if cap(t.buckets) < size {
+		t.buckets = make([]int32, size)
+	} else {
+		t.buckets = t.buckets[:size]
+		clear(t.buckets)
+	}
+	t.mask = uint32(size - 1)
+	t.hashes = t.hashes[:0]
+	t.rep = t.rep[:0]
+	t.cnt = t.cnt[:0]
+	if cap(t.rowEnt) < len(rows) {
+		t.rowEnt = make([]int32, len(rows))
+	} else {
+		t.rowEnt = t.rowEnt[:len(rows)]
+	}
+	for ri, row := range rows {
+		h := hashRowKey(row, cols)
+		slot := uint32(h) & t.mask
+		for {
+			e := t.buckets[slot]
+			if e == 0 {
+				t.buckets[slot] = int32(len(t.rep)) + 1
+				t.rowEnt[ri] = int32(len(t.rep))
+				t.hashes = append(t.hashes, h)
+				t.rep = append(t.rep, int32(ri))
+				t.cnt = append(t.cnt, 1)
+				break
+			}
+			ei := e - 1
+			if t.hashes[ei] == h && keyEqual(rows[t.rep[ei]], cols, row, cols) {
+				t.cnt[ei]++
+				t.rowEnt[ri] = ei
+				break
+			}
+			slot = (slot + 1) & t.mask
+		}
+	}
+	// CSR layout: lay rows out contiguously per entry, preserving their
+	// original order within each key group.
+	nEnt := len(t.rep)
+	if cap(t.off) < nEnt+1 {
+		t.off = make([]int32, nEnt+1)
+	} else {
+		t.off = t.off[:nEnt+1]
+	}
+	t.off[0] = 0
+	for e := 0; e < nEnt; e++ {
+		t.off[e+1] = t.off[e] + t.cnt[e]
+		t.cnt[e] = t.off[e] // reuse as fill cursor
+	}
+	if cap(t.ordered) < len(rows) {
+		t.ordered = make([]mapreduce.Row, len(rows))
+	} else {
+		t.ordered = t.ordered[:len(rows)]
+	}
+	for ri, row := range rows {
+		e := t.rowEnt[ri]
+		t.ordered[t.cnt[e]] = row
+		t.cnt[e]++
+	}
+}
+
+// probe returns the rows whose key equals probe's key cells (columns
+// probeCols, hash h), or nil. The returned slice is valid until the
+// table is rebuilt or released.
+func (t *joinTable) probe(probe mapreduce.Row, probeCols []int, h uint64) []mapreduce.Row {
+	slot := uint32(h) & t.mask
+	for {
+		e := t.buckets[slot]
+		if e == 0 {
+			return nil
+		}
+		ei := e - 1
+		if t.hashes[ei] == h && keyEqual(t.rows[t.rep[ei]], t.cols, probe, probeCols) {
+			return t.ordered[t.off[ei]:t.off[ei+1]]
+		}
+		slot = (slot + 1) & t.mask
+	}
+}
+
+// release drops the table's references to the build child's rows so a
+// pooled arena doesn't pin a finished query's intermediates until its
+// next reuse. The index storage itself stays for the next build.
+func (t *joinTable) release() {
+	t.rows = nil
+	clear(t.ordered)
+	t.ordered = t.ordered[:0]
 }

@@ -1,0 +1,73 @@
+package physical
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"cliquesquare/internal/mapreduce"
+	"cliquesquare/internal/rdf"
+)
+
+// refDedupe is the seed's string-keyed deduplication, kept as the
+// oracle for the content-hashed rewrite.
+func refDedupe(rows []mapreduce.Row) []mapreduce.Row {
+	seen := make(map[string]bool, len(rows))
+	out := rows[:0:0]
+	for _, row := range rows {
+		vals := make([]uint32, len(row))
+		for i, v := range row {
+			vals[i] = uint32(v)
+		}
+		k := mapreduce.EncodeKey(0, vals)
+		if seen[k] {
+			continue
+		}
+		seen[k] = true
+		out = append(out, row)
+	}
+	return out
+}
+
+func TestDedupeMatchesReference(t *testing.T) {
+	for trial := 0; trial < 100; trial++ {
+		rng := rand.New(rand.NewSource(int64(trial)))
+		n := rng.Intn(200)
+		w := 1 + rng.Intn(4)
+		rows := make([]mapreduce.Row, n)
+		for i := range rows {
+			row := make(mapreduce.Row, w)
+			for j := range row {
+				row[j] = rdf.TermID(rng.Intn(6))
+			}
+			rows[i] = row
+		}
+		want := refDedupe(rows)
+		got := dedupe(append([]mapreduce.Row(nil), rows...))
+		if len(got) != len(want) {
+			t.Fatalf("trial %d: %d rows, want %d", trial, len(got), len(want))
+		}
+		for i := range got {
+			if !reflect.DeepEqual(got[i], want[i]) {
+				t.Fatalf("trial %d: row %d differs: %v vs %v", trial, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+// TestDedupeAllocations pins the rewrite's allocation contract: one
+// bucket array per call, instead of a key string per row.
+func TestDedupeAllocations(t *testing.T) {
+	const n = 1024
+	rows := make([]mapreduce.Row, n)
+	for i := range rows {
+		rows[i] = mapreduce.Row{rdf.TermID(i % 200), rdf.TermID(i % 11)}
+	}
+	scratch := make([]mapreduce.Row, n)
+	if got := testing.AllocsPerRun(100, func() {
+		copy(scratch, rows)
+		dedupe(scratch)
+	}); got > 1 {
+		t.Errorf("dedupe of %d rows: %v allocs/op, want <= 1", n, got)
+	}
+}

@@ -2,7 +2,6 @@ package physical
 
 import (
 	"fmt"
-	"sort"
 
 	"cliquesquare/internal/core"
 	"cliquesquare/internal/mapreduce"
@@ -105,6 +104,7 @@ func (x *Executor) Execute(pp *Plan) (*Result, error) {
 				Map: func(node int, m *mapreduce.Meter, emit func(mapreduce.Keyed), out func(mapreduce.Row)) {
 					a := x.Ctx.arenaFor(node)
 					for _, rj := range level {
+						gid := uint32(rj.ID)
 						for i, c := range rj.Op.Children {
 							ci := pp.Infos[c]
 							var rel relation
@@ -118,9 +118,13 @@ func (x *Executor) Execute(pp *Plan) (*Result, error) {
 							} else {
 								rel = x.evalLocal(pp, c, node, m, rj.Op.JoinAttrs[0], a)
 							}
+							// Key columns are resolved once per child
+							// relation; each record then packs an
+							// allocation-free binary key.
+							a.emitCols = rel.appendCols(a.emitCols[:0], rj.Op.JoinAttrs)
 							for _, row := range rel.rows {
 								emit(mapreduce.Keyed{
-									Key: mapreduce.EncodeKey(rj.ID, rel.key(row, rj.Op.JoinAttrs)),
+									Key: mapreduce.MakeRowKey(gid, row, a.emitCols),
 									Tag: i,
 									Row: row,
 								})
@@ -128,26 +132,21 @@ func (x *Executor) Execute(pp *Plan) (*Result, error) {
 						}
 					}
 				},
-				Reduce: func(node int, m *mapreduce.Meter, groups map[string][]mapreduce.Keyed, out func(mapreduce.Row)) {
+				Reduce: func(node int, m *mapreduce.Meter, groups *mapreduce.Groups, out func(mapreduce.Row)) {
 					a := x.Ctx.arenaFor(node)
-					// Process groups in sorted key order: map iteration
-					// order would make the floating-point metering sums
-					// (and row order) vary run to run.
-					keys := make([]string, 0, len(groups))
-					for key := range groups {
-						keys = append(keys, key)
-					}
-					sort.Strings(keys)
+					// Groups arrive in canonical key order (the seed's
+					// sorted-string order), so the floating-point
+					// metering sums and row order are reproducible.
 					perRJ := make(map[*Info][]relation)
 					var rjOrder []*Info
-					for _, key := range keys {
-						recs := groups[key]
-						rj := byID[decodeGroup(key)]
+					groups.Each(func(key *mapreduce.Key, recs []mapreduce.Keyed) {
+						rj := byID[int(key.Group())]
 						rels := make([]relation, len(rj.Op.Children))
 						for i, c := range rj.Op.Children {
 							rels[i] = relation{schema: c.Attrs}
 						}
-						for _, rec := range recs {
+						for ri := range recs {
+							rec := &recs[ri]
 							rels[rec.Tag].rows = append(rels[rec.Tag].rows, rec.Row)
 						}
 						joined, counts := a.naryJoin(rels, rj.Op.JoinAttrs)
@@ -159,7 +158,7 @@ func (x *Executor) Execute(pp *Plan) (*Result, error) {
 							}
 							perRJ[rj] = append(perRJ[rj], conform(a, joined, rj.Op.Attrs))
 						}
-					}
+					})
 					for _, rj := range rjOrder {
 						if isLast && rj.Op == pp.Root {
 							for _, rel := range perRJ[rj] {
@@ -220,6 +219,13 @@ func (x *Executor) evalLocal(pp *Plan, op *core.Op, node int, m *mapreduce.Meter
 	panic(fmt.Sprintf("physical: evalLocal on %v", op.Kind))
 }
 
+// constCheck is one constant-position filter of a scan: the triple
+// position and the dictionary id it must equal.
+type constCheck struct {
+	pos rdf.Pos
+	id  rdf.TermID
+}
+
 // scan reads one triple pattern's matching tuples from this node's
 // replica partitioned on coVar's position (Section 5.1 file layout),
 // applying the pattern's constant and repeated-variable filters.
@@ -233,12 +239,10 @@ func (x *Executor) scan(pp *Plan, op *core.Op, node int, m *mapreduce.Meter, coV
 	pos := x.Part.ScanPos(scanPosition(tp, coVar))
 	rel := relation{schema: op.Attrs}
 
-	// Precompute constant checks and variable extraction columns.
-	type constCheck struct {
-		pos rdf.Pos
-		id  rdf.TermID
-	}
-	var consts []constCheck
+	// Precompute constant checks and variable extraction columns into
+	// the arena's scratch (reused across scan calls; a scan finishes
+	// before the node's next one starts).
+	consts := a.scanConsts[:0]
 	impossible := false
 	for _, p := range []rdf.Pos{rdf.SPos, rdf.PPos, rdf.OPos} {
 		pt := tp.At(p)
@@ -252,12 +256,13 @@ func (x *Executor) scan(pp *Plan, op *core.Op, node int, m *mapreduce.Meter, coV
 		}
 		consts = append(consts, constCheck{p, id})
 	}
+	a.scanConsts = consts
 	if impossible {
 		return rel
 	}
-	varPos := make([]rdf.Pos, len(op.Attrs))
-	var repeats [][2]rdf.Pos
-	for i, attr := range op.Attrs {
+	varPos := a.scanVarPos[:0]
+	repeats := a.scanRepeats[:0]
+	for _, attr := range op.Attrs {
 		first := rdf.Pos(255)
 		for _, p := range []rdf.Pos{rdf.SPos, rdf.PPos, rdf.OPos} {
 			pt := tp.At(p)
@@ -269,8 +274,10 @@ func (x *Executor) scan(pp *Plan, op *core.Op, node int, m *mapreduce.Meter, coV
 				}
 			}
 		}
-		varPos[i] = first
+		varPos = append(varPos, first)
 	}
+	a.scanVarPos = varPos
+	a.scanRepeats = repeats
 
 	nd := x.Cluster.Store.Node(node)
 	needCheck := len(consts) > 0 || len(repeats) > 0
@@ -351,13 +358,6 @@ func scanPosition(tp sparql.TriplePattern, coVar string) rdf.Pos {
 		}
 	}
 	return rdf.SPos
-}
-
-// decodeGroup extracts the reduce-join ID from a shuffle key built by
-// mapreduce.EncodeKey, reading the little-endian prefix directly from
-// the string (no per-key byte-slice copy).
-func decodeGroup(key string) int {
-	return int(uint32(key[0]) | uint32(key[1])<<8 | uint32(key[2])<<16 | uint32(key[3])<<24)
 }
 
 // conform projects a join output onto the operator's declared schema.

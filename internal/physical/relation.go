@@ -1,7 +1,6 @@
 package physical
 
 import (
-	"encoding/binary"
 	"sort"
 
 	"cliquesquare/internal/mapreduce"
@@ -24,13 +23,14 @@ func (r *relation) col(a string) int {
 	return -1
 }
 
-// key extracts the values of attrs from row as uint32s.
-func (r *relation) key(row mapreduce.Row, attrs []string) []uint32 {
-	out := make([]uint32, len(attrs))
-	for i, a := range attrs {
-		out[i] = uint32(row[r.col(a)])
+// appendCols appends the column indexes of attrs to buf: the hoisted
+// form of per-row col() scans — resolved once per relation, then used
+// for every row.
+func (r *relation) appendCols(buf []int, attrs []string) []int {
+	for _, a := range attrs {
+		buf = append(buf, r.col(a))
 	}
-	return out
+	return buf
 }
 
 // joinCounts is the work accounting a join reports back to its caller:
@@ -39,22 +39,14 @@ type joinCounts struct {
 	in, out int
 }
 
-// appendRowKey appends the little-endian encoding of the row's cols to
-// buf: the allocation-free core of mapreduce.EncodeKey for keys that
-// never leave the local join.
-func appendRowKey(buf []byte, row mapreduce.Row, cols []int) []byte {
-	for _, c := range cols {
-		buf = binary.LittleEndian.AppendUint32(buf, uint32(row[c]))
-	}
-	return buf
-}
-
 // naryJoin computes the n-ary equality join of children on joinAttrs,
 // additionally enforcing equality on every attribute shared by two or
 // more children (the folded residual selection). The output schema is
-// the sorted union of the child schemas. Hash tables, cursors and key
-// buffers come from the arena and are reused across calls; output rows
-// come from the arena's slab.
+// the sorted union of the child schemas. Every child but the first is
+// indexed in an arena-owned open-addressing joinTable keyed directly
+// on the rows' join cells (no per-row key string); the first child's
+// rows stream through, probing each table with one precomputed hash.
+// Output rows come from the arena's slab.
 func (a *arena) naryJoin(children []relation, joinAttrs []string) (relation, joinCounts) {
 	var counts joinCounts
 	out := relation{schema: unionSchema(children)}
@@ -64,40 +56,31 @@ func (a *arena) naryJoin(children []relation, joinAttrs []string) (relation, joi
 	nc := len(children)
 	a.grow(nc)
 
-	// Hash every child on the join attributes.
+	// Resolve join-key columns once per child.
 	for i := range children {
-		cols := a.colIdx[i][:0]
-		for _, attr := range joinAttrs {
-			cols = append(cols, children[i].col(attr))
-		}
-		a.colIdx[i] = cols
-		tbl := a.tables[i]
-		if tbl == nil {
-			tbl = make(map[string][]mapreduce.Row, len(children[i].rows))
-			a.tables[i] = tbl
-		} else {
-			clear(tbl)
-		}
-		for _, row := range children[i].rows {
-			a.keyBuf = appendRowKey(a.keyBuf[:0], row, cols)
-			tbl[string(a.keyBuf)] = append(tbl[string(a.keyBuf)], row)
-			counts.in++
-		}
+		a.colIdx[i] = children[i].appendCols(a.colIdx[i][:0], joinAttrs)
+		counts.in += len(children[i].rows)
 	}
+	for i := 1; i < nc; i++ {
+		a.tables[i].build(children[i].rows, a.colIdx[i])
+	}
+
 	// Prepare output column sources and residual equality checks.
 	srcChild, srcCol := columnSources(out.schema, children)
 	checks := residualChecks(out.schema, children, srcChild, srcCol)
 
-	// Iterate the first child's keys; every key present in all children
-	// produces the consistent combinations of the per-child groups.
+	// Stream the first child: every row whose key is present in all
+	// other children produces the consistent combinations of the
+	// per-child groups.
 	group := a.group[:nc]
 	lists := a.lists[:nc]
-	for k, rows0 := range a.tables[0] {
-		lists[0] = rows0
+	cols0 := a.colIdx[0]
+	for _, row0 := range children[0].rows {
+		h := hashRowKey(row0, cols0)
 		ok := true
 		for i := 1; i < nc; i++ {
-			l, present := a.tables[i][k]
-			if !present {
+			l := a.tables[i].probe(row0, cols0, h)
+			if l == nil {
 				ok = false
 				break
 			}
@@ -106,7 +89,8 @@ func (a *arena) naryJoin(children []relation, joinAttrs []string) (relation, joi
 		if !ok {
 			continue
 		}
-		combine(lists, 0, group, func() {
+		group[0] = row0
+		combine(lists, 1, group, func() {
 			for _, c := range checks {
 				if group[c.aChild][c.aCol] != group[c.bChild][c.bCol] {
 					return
@@ -122,16 +106,19 @@ func (a *arena) naryJoin(children []relation, joinAttrs []string) (relation, joi
 	}
 	// Drop references to this join's inputs so pooled arenas don't pin
 	// a finished query's intermediate rows until their next reuse.
+	for i := 1; i < nc; i++ {
+		a.tables[i].release()
+	}
 	for i := 0; i < nc; i++ {
-		clear(a.tables[i])
 		lists[i] = nil
 		group[i] = nil
 	}
 	return out, counts
 }
 
-// combine enumerates the cross product of lists, filling group in
-// place and invoking fn for each full combination.
+// combine enumerates the cross product of lists[i:], filling group in
+// place and invoking fn for each full combination (group[:i] is
+// already set by the caller).
 func combine(lists [][]mapreduce.Row, i int, group []mapreduce.Row, fn func()) {
 	if i == len(lists) {
 		fn()
@@ -216,21 +203,63 @@ func (r *relation) project(a *arena, attrs []string) relation {
 	return out
 }
 
-// dedupe removes duplicate rows (set semantics of BGP evaluation).
+// hashRow hashes a row's full contents (FNV-1a word folding over the
+// cells, length mixed in, splitmix finalizer).
+func hashRow(row mapreduce.Row) uint64 {
+	h := uint64(14695981039346656037)
+	h = (h ^ uint64(len(row))) * 1099511628211
+	for _, v := range row {
+		h = (h ^ uint64(uint32(v))) * 1099511628211
+	}
+	return mix64(h)
+}
+
+func rowEqual(a, b mapreduce.Row) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// dedupe removes duplicate rows in place (set semantics of BGP
+// evaluation), keeping first occurrences in order. Rows are hashed on
+// their contents into an open-addressing set: no per-row key string,
+// one bucket-array allocation per call.
 func dedupe(rows []mapreduce.Row) []mapreduce.Row {
-	seen := make(map[string]bool, len(rows))
-	out := rows[:0:0]
+	if len(rows) <= 1 {
+		return rows
+	}
+	size := 8
+	for size < 2*len(rows) {
+		size <<= 1
+	}
+	buckets := make([]int32, size) // kept-row index + 1; 0 = empty
+	mask := uint32(size - 1)
+	out := rows[:0]
 	for _, row := range rows {
-		vals := make([]uint32, len(row))
-		for i, v := range row {
-			vals[i] = uint32(v)
+		h := hashRow(row)
+		slot := uint32(h) & mask
+		dup := false
+		for {
+			e := buckets[slot]
+			if e == 0 {
+				buckets[slot] = int32(len(out)) + 1
+				break
+			}
+			if rowEqual(out[e-1], row) {
+				dup = true
+				break
+			}
+			slot = (slot + 1) & mask
 		}
-		k := mapreduce.EncodeKey(0, vals)
-		if seen[k] {
-			continue
+		if !dup {
+			out = append(out, row)
 		}
-		seen[k] = true
-		out = append(out, row)
 	}
 	return out
 }

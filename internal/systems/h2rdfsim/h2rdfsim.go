@@ -168,8 +168,8 @@ func (e *Engine) Run(q *sparql.Query) (*systems.RunResult, error) {
 					emit(mapreduce.Keyed{Key: key(right[i], rCols), Tag: 1, Row: mapreduce.Row(right[i])})
 				}
 			},
-			Reduce: func(node int, m *mapreduce.Meter, groups map[string][]mapreduce.Keyed, out func(mapreduce.Row)) {
-				for _, recs := range groups {
+			Reduce: func(node int, m *mapreduce.Meter, groups *mapreduce.Groups, out func(mapreduce.Row)) {
+				groups.Each(func(_ *mapreduce.Key, recs []mapreduce.Keyed) {
 					var left, rgt []mapreduce.Row
 					for _, r := range recs {
 						if r.Tag == 0 {
@@ -191,7 +191,7 @@ func (e *Engine) Run(q *sparql.Query) (*systems.RunResult, error) {
 							out(nr)
 						}
 					}
-				}
+				})
 			},
 		})
 		accVars = mergedVars
@@ -326,12 +326,9 @@ func mergeVars(a, b []string) (merged []string, rightExtra []int) {
 	return merged, rightExtra
 }
 
-func key(row []rdf.TermID, cols []int) string {
-	vals := make([]uint32, len(cols))
-	for i, c := range cols {
-		vals[i] = uint32(row[c])
-	}
-	return mapreduce.EncodeKey(0, vals)
+// key packs one row's join cells into a binary shuffle key.
+func key(row []rdf.TermID, cols []int) mapreduce.Key {
+	return mapreduce.MakeRowKey(0, row, cols)
 }
 
 func projectRows(vars []string, rows [][]rdf.TermID, sel []string) [][]rdf.TermID {

@@ -308,8 +308,8 @@ func (e *Engine) Run(q *sparql.Query) (*systems.RunResult, error) {
 					emit(mapreduce.Keyed{Key: key(row, sCols), Tag: 1, Row: mapreduce.Row(row)})
 				}
 			},
-			Reduce: func(node int, m *mapreduce.Meter, groups map[string][]mapreduce.Keyed, out func(mapreduce.Row)) {
-				for _, recs := range groups {
+			Reduce: func(node int, m *mapreduce.Meter, groups *mapreduce.Groups, out func(mapreduce.Row)) {
+				groups.Each(func(_ *mapreduce.Key, recs []mapreduce.Keyed) {
 					var left, right []mapreduce.Row
 					for _, r := range recs {
 						if r.Tag == 0 {
@@ -331,7 +331,7 @@ func (e *Engine) Run(q *sparql.Query) (*systems.RunResult, error) {
 							out(nr)
 						}
 					}
-				}
+				})
 			},
 		})
 		accEvalCharged = true
@@ -436,12 +436,9 @@ func mergeVars(a, b []string) (merged []string, rightExtra []int) {
 	return merged, rightExtra
 }
 
-func key(row []rdf.TermID, cols []int) string {
-	vals := make([]uint32, len(cols))
-	for i, c := range cols {
-		vals[i] = uint32(row[c])
-	}
-	return mapreduce.EncodeKey(0, vals)
+// key packs one row's join cells into a binary shuffle key.
+func key(row []rdf.TermID, cols []int) mapreduce.Key {
+	return mapreduce.MakeRowKey(0, row, cols)
 }
 
 func flatten(perNode [][][]rdf.TermID) [][]rdf.TermID {
