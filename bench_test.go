@@ -267,6 +267,49 @@ func BenchmarkShuffleHeavy(b *testing.B) {
 	}
 }
 
+// BenchmarkPrepareColdVsCached measures the plan-once/execute-many
+// split on the LUBM workload: "cold" runs the full optimizer pipeline
+// (clique decomposition, cover enumeration, cost-based selection,
+// physical compilation) for every query; "cached" serves the same
+// queries from the fingerprint plan cache. One op is the whole
+// 14-query workload. The acceptance bar is a >= 10x gap; in practice
+// a cache hit is a canonicalization plus a map lookup, orders of
+// magnitude below a planner run.
+func BenchmarkPrepareColdVsCached(b *testing.B) {
+	g := lubmGraph(6)
+	qs := lubm.Queries()
+	b.Run("cold", func(b *testing.B) {
+		cfg := csq.DefaultConfig()
+		cfg.PlanCacheSize = -1
+		eng := csq.New(g, cfg)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			for _, q := range qs {
+				if _, err := eng.Prepare(q); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	})
+	b.Run("cached", func(b *testing.B) {
+		eng := csq.New(g, csq.DefaultConfig())
+		for _, q := range qs {
+			if _, _, err := eng.PrepareCached(q); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			for _, q := range qs {
+				p, hit, err := eng.PrepareCached(q)
+				if err != nil || !hit || p == nil {
+					b.Fatalf("warm lookup missed: hit=%v err=%v", hit, err)
+				}
+			}
+		}
+	})
+}
+
 // BenchmarkFig8Bounds evaluates the closed-form decomposition bounds.
 func BenchmarkFig8Bounds(b *testing.B) {
 	for i := 0; i < b.N; i++ {
@@ -370,13 +413,14 @@ func BenchmarkPartitionLoad(b *testing.B) {
 }
 
 // BenchmarkEndToEnd runs the facade on a small graph (allocation
-// profile of the whole pipeline).
+// profile of the whole pipeline; the plan cache is disabled so every
+// iteration pays the full parse-plan-execute cost).
 func BenchmarkEndToEnd(b *testing.B) {
 	g := NewGraph()
 	for i := 0; i < 500; i++ {
 		g.AddSPO(fmt.Sprintf("s%d", i%50), fmt.Sprintf("p%d", i%3), fmt.Sprintf("s%d", (i+1)%50))
 	}
-	eng, err := NewEngine(g, Options{Nodes: 4})
+	eng, err := NewEngine(g, Options{Nodes: 4, PlanCacheSize: -1})
 	if err != nil {
 		b.Fatal(err)
 	}

@@ -26,6 +26,7 @@ import (
 	"cliquesquare/internal/core"
 	"cliquesquare/internal/mapreduce"
 	"cliquesquare/internal/physical"
+	"cliquesquare/internal/plancache"
 	"cliquesquare/internal/rdf"
 	"cliquesquare/internal/sparql"
 	"cliquesquare/internal/systems/csq"
@@ -66,6 +67,13 @@ type Options struct {
 	// sequential runtime. Results and statistics are identical at any
 	// setting — only wall-clock time changes.
 	Parallelism int
+	// PlanCacheSize caps (approximately — sharding rounds it up to a
+	// multiple of 8) the engine's prepared-plan cache, keyed on
+	// canonical query fingerprints; 0 means a default of 256 entries,
+	// negative disables plan caching. Cached and uncached paths produce
+	// identical results and statistics — the cache only removes
+	// repeated optimizer work.
+	PlanCacheSize int
 }
 
 // Engine evaluates queries over a partitioned dataset.
@@ -96,6 +104,7 @@ func NewEngine(g *Graph, opts Options) (*Engine, error) {
 	} else {
 		cfg.Parallelism = opts.Parallelism
 	}
+	cfg.PlanCacheSize = opts.PlanCacheSize
 	return &Engine{inner: csq.New(g, cfg), dict: g.Dict}, nil
 }
 
@@ -116,9 +125,21 @@ type Result struct {
 	// root-to-leaf path) and PlansExplored the optimizer's plan count.
 	PlanHeight    int
 	PlansExplored int
+	// PlanCached reports whether the executed plan came from the
+	// engine's plan cache rather than a fresh optimizer run.
+	PlanCached bool
 }
 
-// Query parses and evaluates src, returning decoded results.
+// CacheStats is a snapshot of the plan cache counters (re-exported
+// from the plancache package).
+type CacheStats = plancache.Stats
+
+// CacheStats snapshots the engine's plan cache activity: hits, misses
+// (= optimizer runs), evictions and resident entries.
+func (e *Engine) CacheStats() CacheStats { return e.inner.CacheStats() }
+
+// Query parses and evaluates src, returning decoded results. Repeated
+// query shapes hit the plan cache (see Prepare).
 func (e *Engine) Query(src string) (*Result, error) {
 	q, err := sparql.Parse(src)
 	if err != nil {
@@ -127,30 +148,89 @@ func (e *Engine) Query(src string) (*Result, error) {
 	return e.Run(q)
 }
 
-// Run evaluates an already-parsed query.
+// Run evaluates an already-parsed query through the plan cache.
 func (e *Engine) Run(q *Query) (*Result, error) {
-	plan, pp, ores, err := e.inner.Plan(q)
+	p, err := e.PrepareQuery(q)
 	if err != nil {
 		return nil, err
 	}
-	r, err := e.inner.ExecutePlan(pp)
+	return p.Run()
+}
+
+// Prepared is a planned, reusable query: the optimizer has already run
+// and the physical plan is compiled. A Prepared is immutable and may be
+// Run any number of times, from any number of goroutines.
+type Prepared struct {
+	eng   *Engine
+	inner *csq.Prepared
+	// vars are the caller's SELECT names; for a cache hit they relabel
+	// the cached plan's (alpha-equivalent) output columns.
+	vars   []string
+	cached bool
+}
+
+// Prepare parses and plans src once, so the plan can be executed many
+// times. Planning consults the engine's concurrency-safe plan cache:
+// queries differing only in variable names or triple-pattern order map
+// to one canonical fingerprint and share a single optimizer run, with
+// concurrent first requests collapsed by singleflight.
+func (e *Engine) Prepare(src string) (*Prepared, error) {
+	q, err := sparql.Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	return e.PrepareQuery(q)
+}
+
+// PrepareQuery is Prepare for an already-parsed query.
+func (e *Engine) PrepareQuery(q *Query) (*Prepared, error) {
+	p, hit, err := e.inner.PrepareCached(q)
+	if err != nil {
+		return nil, err
+	}
+	return &Prepared{
+		eng:    e,
+		inner:  p,
+		vars:   append([]string(nil), q.Select...),
+		cached: hit,
+	}, nil
+}
+
+// PlanCached reports whether this prepared plan came from the cache.
+func (p *Prepared) PlanCached() bool { return p.cached }
+
+// Run executes the prepared plan and decodes the results. The rows and
+// simulated statistics are identical to an uncached Engine.Query of the
+// same text, whatever the cache did.
+func (p *Prepared) Run() (*Result, error) {
+	r, err := p.eng.inner.ExecutePrepared(p.inner)
 	if err != nil {
 		return nil, err
 	}
 	out := &Result{
-		Vars:          r.Schema,
+		Vars:          p.vars,
 		Jobs:          len(r.Jobs),
-		MapOnly:       pp.MapOnly(),
+		MapOnly:       p.inner.Physical.MapOnly(),
 		SimulatedTime: time.Duration(r.Time) * time.Microsecond,
-		PlanHeight:    plan.Height(),
-		PlansExplored: len(ores.Plans),
+		PlanHeight:    p.inner.Height,
+		PlansExplored: p.inner.PlansExplored,
+		PlanCached:    p.cached,
 	}
+	// Decode into pre-sized rows backed by one string slab: one
+	// allocation for the row index, one for all cells.
+	out.Rows = make([][]string, len(r.Rows))
+	cells := 0
 	for _, row := range r.Rows {
-		dec := make([]string, len(row))
+		cells += len(row)
+	}
+	slab := make([]string, cells)
+	for ri, row := range r.Rows {
+		dec := slab[:len(row):len(row)]
+		slab = slab[len(row):]
 		for i, id := range row {
-			dec[i] = e.dict.Term(id).String()
+			dec[i] = p.eng.dict.Term(id).String()
 		}
-		out.Rows = append(out.Rows, dec)
+		out.Rows[ri] = dec
 	}
 	return out, nil
 }

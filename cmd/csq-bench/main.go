@@ -8,10 +8,14 @@
 //	csq-bench -exp=systems     # Figure 21 (CSQ vs SHAPE vs H2RDF+)
 //	csq-bench -exp=workload    # Figure 22 (query characteristics)
 //	csq-bench -exp=bounds      # Figure 8  (decomposition bounds)
+//	csq-bench -exp=serving     # concurrent serving: QPS, latency, cache
 //	csq-bench -exp=all
 //
 // Flags tune the scale (-univ), cluster size (-nodes), the synthetic
-// workload size (-pershape) and the optimizer budgets.
+// workload size (-pershape) and the optimizer budgets. The serving
+// experiment (an engineering extension beyond the paper's single-shot
+// measurements) takes -clients and -requests, and -out writes its
+// metrics as JSON.
 package main
 
 import (
@@ -27,12 +31,15 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: planspace|plans|systems|workload|bounds|all")
+	exp := flag.String("exp", "all", "experiment: planspace|plans|systems|workload|bounds|serving|all")
 	univ := flag.Int("univ", 100, "LUBM scale (universities) for execution experiments")
 	nodes := flag.Int("nodes", 7, "simulated cluster nodes")
 	perShape := flag.Int("pershape", 30, "synthetic queries per shape (paper: 30)")
 	maxPlans := flag.Int("maxplans", 5000, "plan budget per optimizer run")
 	timeout := flag.Duration("timeout", 500*time.Millisecond, "optimizer timeout per query")
+	clients := flag.Int("clients", 8, "serving: concurrent client goroutines")
+	requests := flag.Int("requests", 100, "serving: requests per client (across the query mix)")
+	out := flag.String("out", "", "serving: write metrics JSON to this file")
 	flag.Parse()
 
 	cc := experiments.DefaultClusterConfig()
@@ -53,6 +60,7 @@ func main() {
 	run("workload", func() error { return workload(cc) })
 	run("plans", func() error { return plans(cc) })
 	run("systems", func() error { return systemsCmp(cc) })
+	run("serving", func() error { return serving(cc, *clients, *requests, *out) })
 }
 
 func tw() *tabwriter.Writer {

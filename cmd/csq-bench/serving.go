@@ -1,0 +1,174 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+	"sync"
+	"time"
+
+	"cliquesquare"
+	"cliquesquare/internal/experiments"
+	"cliquesquare/internal/lubm"
+)
+
+// servingMetrics is the JSON shape of the concurrent-serving report
+// (the BENCH_pr3.json CI artifact).
+type servingMetrics struct {
+	Universities int     `json:"universities"`
+	Nodes        int     `json:"nodes"`
+	Clients      int     `json:"clients"`
+	Requests     int     `json:"requests"` // total across clients
+	Queries      int     `json:"queries"`  // distinct shapes in the mix
+	WallSeconds  float64 `json:"wall_seconds"`
+	QPS          float64 `json:"qps"`
+	P50Ms        float64 `json:"p50_ms"`
+	P95Ms        float64 `json:"p95_ms"`
+	P99Ms        float64 `json:"p99_ms"`
+	ColdP50Ms    float64 `json:"cold_p50_ms"` // latency of cache-miss requests
+	HitP50Ms     float64 `json:"hit_p50_ms"`  // latency of cache-hit requests
+	CacheHits    uint64  `json:"cache_hits"`
+	CacheMisses  uint64  `json:"cache_misses"`
+	HitRate      float64 `json:"hit_rate"`
+}
+
+// serving drives one engine with -clients concurrent goroutines, each
+// issuing -requests queries drawn round-robin (staggered per client)
+// from the LUBM mix, and reports QPS, latency percentiles and plan
+// cache behaviour. Every response is checked against the first answer
+// seen for its query, so the benchmark doubles as a smoke test that
+// concurrent cached serving stays deterministic.
+func serving(cc experiments.ClusterConfig, clients, requests int, outPath string) error {
+	fmt.Printf("== Concurrent serving: %d clients x %d requests (LUBM, %d universities, %d nodes) ==\n",
+		clients, requests, cc.Universities, cc.Nodes)
+	g := lubm.Generate(lubm.DefaultConfig(cc.Universities))
+	eng, err := cliquesquare.NewEngine(g, cliquesquare.Options{Nodes: cc.Nodes})
+	if err != nil {
+		return err
+	}
+	qs := lubm.Queries()
+
+	type sample struct {
+		d      time.Duration
+		cached bool
+	}
+	perClient := make([][]sample, clients)
+	var (
+		mu      sync.Mutex
+		answers = make(map[string]int) // query -> row count of first answer
+		mismatch error
+	)
+	start := time.Now()
+	var wg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			samples := make([]sample, 0, requests)
+			for i := 0; i < requests; i++ {
+				q := qs[(c+i)%len(qs)]
+				t0 := time.Now()
+				p, err := eng.PrepareQuery(q)
+				if err != nil {
+					mu.Lock()
+					mismatch = err
+					mu.Unlock()
+					return
+				}
+				res, err := p.Run()
+				d := time.Since(t0)
+				if err != nil {
+					mu.Lock()
+					mismatch = err
+					mu.Unlock()
+					return
+				}
+				samples = append(samples, sample{d: d, cached: res.PlanCached})
+				mu.Lock()
+				if n, ok := answers[q.Name]; !ok {
+					answers[q.Name] = len(res.Rows)
+				} else if n != len(res.Rows) {
+					mismatch = fmt.Errorf("%s: %d rows, first answer had %d", q.Name, len(res.Rows), n)
+				}
+				mu.Unlock()
+			}
+			perClient[c] = samples
+		}(c)
+	}
+	wg.Wait()
+	wall := time.Since(start)
+	if mismatch != nil {
+		return mismatch
+	}
+
+	var all, cold, hit []time.Duration
+	for _, samples := range perClient {
+		for _, s := range samples {
+			all = append(all, s.d)
+			if s.cached {
+				hit = append(hit, s.d)
+			} else {
+				cold = append(cold, s.d)
+			}
+		}
+	}
+	st := eng.CacheStats()
+	m := servingMetrics{
+		Universities: cc.Universities,
+		Nodes:        cc.Nodes,
+		Clients:      clients,
+		Requests:     len(all),
+		Queries:      len(qs),
+		WallSeconds:  wall.Seconds(),
+		QPS:          float64(len(all)) / wall.Seconds(),
+		P50Ms:        percentileMs(all, 50),
+		P95Ms:        percentileMs(all, 95),
+		P99Ms:        percentileMs(all, 99),
+		ColdP50Ms:    percentileMs(cold, 50),
+		HitP50Ms:     percentileMs(hit, 50),
+		CacheHits:    st.Hits,
+		CacheMisses:  st.Misses,
+		HitRate:      st.HitRate(),
+	}
+
+	w := tw()
+	fmt.Fprintf(w, "requests\t%d\n", m.Requests)
+	fmt.Fprintf(w, "wall time\t%.2fs\n", m.WallSeconds)
+	fmt.Fprintf(w, "QPS\t%.0f\n", m.QPS)
+	fmt.Fprintf(w, "latency p50/p95/p99\t%.3f / %.3f / %.3f ms\n", m.P50Ms, m.P95Ms, m.P99Ms)
+	fmt.Fprintf(w, "cold p50 (cache miss)\t%.3f ms\n", m.ColdP50Ms)
+	fmt.Fprintf(w, "hit p50 (cache hit)\t%.3f ms\n", m.HitP50Ms)
+	fmt.Fprintf(w, "plan cache\t%d hits, %d misses (%.1f%% hit rate)\n", m.CacheHits, m.CacheMisses, 100*m.HitRate)
+	fmt.Fprintln(w)
+	if err := w.Flush(); err != nil {
+		return err
+	}
+
+	if outPath != "" {
+		data, err := json.MarshalIndent(m, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(outPath, append(data, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n", outPath)
+	}
+	return nil
+}
+
+// percentileMs returns the p-th percentile of ds in milliseconds
+// (nearest-rank), or 0 for an empty sample set.
+func percentileMs(ds []time.Duration, p int) float64 {
+	if len(ds) == 0 {
+		return 0
+	}
+	sorted := append([]time.Duration(nil), ds...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	idx := (p*len(sorted) + 99) / 100
+	if idx > 0 {
+		idx--
+	}
+	return float64(sorted[idx].Nanoseconds()) / 1e6
+}

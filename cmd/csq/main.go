@@ -12,6 +12,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"cliquesquare"
 )
@@ -24,15 +25,16 @@ func main() {
 	method := flag.String("method", "MSC", "optimizer variant (MSC, MSC+, SC, ...)")
 	explain := flag.Bool("explain", false, "print the plan instead of executing")
 	maxRows := flag.Int("maxrows", 20, "result rows to print (0 = all)")
+	repeat := flag.Int("repeat", 1, "execute the query this many times via one prepared plan, timing each run")
 	flag.Parse()
 
-	if err := run(*data, *query, *queryFile, *nodes, *method, *explain, *maxRows); err != nil {
+	if err := run(*data, *query, *queryFile, *nodes, *method, *explain, *maxRows, *repeat); err != nil {
 		fmt.Fprintln(os.Stderr, "csq:", err)
 		os.Exit(1)
 	}
 }
 
-func run(data, query, queryFile string, nodes int, method string, explain bool, maxRows int) error {
+func run(data, query, queryFile string, nodes int, method string, explain bool, maxRows, repeat int) error {
 	if data == "" {
 		return fmt.Errorf("-data is required")
 	}
@@ -69,10 +71,27 @@ func run(data, query, queryFile string, nodes int, method string, explain bool, 
 		fmt.Print(s)
 		return nil
 	}
-	res, err := eng.Query(query)
+	// Plan once, execute repeat times: the prepared plan is reused, so
+	// later runs skip the optimizer entirely (-repeat 2 with timings
+	// makes the plan-once/execute-many split visible from the CLI).
+	planStart := time.Now()
+	prep, err := eng.Prepare(query)
 	if err != nil {
 		return err
 	}
+	planned := time.Since(planStart)
+	var res *cliquesquare.Result
+	for i := 0; i < repeat || res == nil; i++ {
+		execStart := time.Now()
+		res, err = prep.Run()
+		if err != nil {
+			return err
+		}
+		if repeat > 1 {
+			fmt.Printf("run %d: %v real\n", i+1, time.Since(execStart))
+		}
+	}
+	fmt.Printf("planned in %v real\n", planned)
 	fmt.Printf("%d rows, %d job(s) (map-only: %v), simulated time %v, plan height %d, %d plans explored\n",
 		len(res.Rows), res.Jobs, res.MapOnly, res.SimulatedTime, res.PlanHeight, res.PlansExplored)
 	for _, v := range res.Vars {

@@ -130,6 +130,11 @@ func TestRuntimeGolden(t *testing.T) {
 	if err := json.Unmarshal(data, &want); err != nil {
 		t.Fatal(err)
 	}
+	compareWorkloads(t, got, want)
+}
+
+func compareWorkloads(t *testing.T, got, want goldenWorkload) {
+	t.Helper()
 	for _, variant := range []struct {
 		name      string
 		got, want map[string]goldenQuery
@@ -152,5 +157,58 @@ func TestRuntimeGolden(t *testing.T) {
 					variant.name, name, g.Jobs, w.Jobs)
 			}
 		}
+	}
+}
+
+// TestPreparedCachedGolden pins the serving path against the same
+// golden file: for every LUBM query, a *cached* prepared plan —
+// obtained from a second PrepareCached call, so it went through the
+// fingerprint cache — is executed twice, and each execution must
+// reproduce the golden rows and JobStats byte for byte. This is the
+// guarantee that plan caching changes only where the plan comes from,
+// never what it computes.
+func TestPreparedCachedGolden(t *testing.T) {
+	data, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatalf("read golden (run with -update-golden to create): %v", err)
+	}
+	var want goldenWorkload
+	if err := json.Unmarshal(data, &want); err != nil {
+		t.Fatal(err)
+	}
+	g := lubm.Generate(lubm.DefaultConfig(2))
+	eng := csq.New(g, csq.DefaultConfig())
+	for _, q := range lubm.Queries() {
+		if _, hit, err := eng.PrepareCached(q); err != nil || hit {
+			t.Fatalf("%s: cold prepare: hit=%v err=%v", q.Name, hit, err)
+		}
+		p, hit, err := eng.PrepareCached(q)
+		if err != nil {
+			t.Fatalf("%s: cached prepare: %v", q.Name, err)
+		}
+		if !hit {
+			t.Fatalf("%s: second PrepareCached missed the cache", q.Name)
+		}
+		w, ok := want.Flat[q.Name]
+		if !ok {
+			t.Fatalf("%s: missing from golden", q.Name)
+		}
+		for run := 0; run < 2; run++ {
+			r, err := eng.ExecutePrepared(p)
+			if err != nil {
+				t.Fatalf("%s: execute %d: %v", q.Name, run, err)
+			}
+			if len(r.Rows) != w.Rows || hashRows(r.Rows) != w.RowHash {
+				t.Errorf("%s run %d: rows %d hash %s, golden rows %d hash %s",
+					q.Name, run, len(r.Rows), hashRows(r.Rows), w.Rows, w.RowHash)
+			}
+			if !reflect.DeepEqual(r.Jobs, w.Jobs) {
+				t.Errorf("%s run %d: job stats differ:\ngot    %+v\ngolden %+v",
+					q.Name, run, r.Jobs, w.Jobs)
+			}
+		}
+	}
+	if st := eng.CacheStats(); st.Misses != uint64(len(lubm.Queries())) {
+		t.Errorf("planned %d times for %d queries", st.Misses, len(lubm.Queries()))
 	}
 }

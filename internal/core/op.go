@@ -67,15 +67,22 @@ type Op struct {
 	// Children are the operator inputs, empty for OpMatch.
 	Children []*Op
 
+	// sig and height memoize Signature and Height. The first call
+	// writes them; once computed, further calls only read. Warm them
+	// (csq.Engine.Prepare does) before sharing an Op across goroutines:
+	// the lazy first computation is not synchronized.
 	sig    string
-	height int
+	height int // computed height + 1; 0 = not yet computed
 }
 
 // Height returns the largest number of join operators on any path from
 // this operator down to a leaf (Section 4.4).
 func (op *Op) Height() int {
-	if op.height > 0 || op.Kind == OpMatch {
-		return op.height
+	if op.Kind == OpMatch {
+		return 0
+	}
+	if op.height > 0 {
+		return op.height - 1
 	}
 	h := 0
 	for _, c := range op.Children {
@@ -86,7 +93,7 @@ func (op *Op) Height() int {
 	if op.Kind == OpJoin {
 		h++
 	}
-	op.height = h
+	op.height = h + 1
 	return h
 }
 

@@ -58,6 +58,12 @@ type Info struct {
 
 // Plan is a compiled physical plan: the logical plan plus the physical
 // classification of every operator and the job layout.
+//
+// A Plan is immutable once CompileWith returns: execution never writes
+// to the plan, its Infos, or the logical operators beneath it, so one
+// compiled Plan may be executed by any number of goroutines
+// simultaneously. All per-execution state lives in the Executor, its
+// Cluster and the ExecContext's per-node arenas.
 type Plan struct {
 	Logical *core.Plan
 	// Root is the operator under the final projection.

@@ -15,6 +15,11 @@ import (
 // joins) is safe for the cluster's concurrent runtime: all shared state
 // (plan, partitioner, dictionary, store) is read-only during execution,
 // and mutable scratch lives in the ExecContext's per-node arenas.
+//
+// An Executor (with its Cluster and ExecContext) serves one Execute
+// call at a time; the Plan it executes is shared and immutable, so
+// concurrent executions of the same compiled plan each use their own
+// Executor — that is the contract Engine.ExecutePrepared builds on.
 type Executor struct {
 	Cluster *mapreduce.Cluster
 	Part    *partition.Partitioner

@@ -1,0 +1,240 @@
+// Package plancache provides the concurrency-safe prepared-plan cache
+// backing Engine.Prepare: a sharded LRU keyed on canonical query
+// fingerprints (sparql.Canonicalize), with singleflight semantics so
+// that N concurrent requests for the same key compute the value exactly
+// once while distinct keys compute in parallel.
+//
+// The cache is generic over the cached value; the engine stores
+// immutable *Prepared plans in it. Values must be safe to share: the
+// cache hands the same value to every caller of a key.
+package plancache
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// defaultCapacity is the entry cap used when New is given zero.
+const defaultCapacity = 256
+
+// shardCount is the number of independent LRU shards. Keys are spread
+// by hash, so unrelated fingerprints contend on different locks.
+const shardCount = 8
+
+// Stats is a point-in-time snapshot of cache activity.
+type Stats struct {
+	// Hits counts Do calls served from the cache, including callers
+	// that joined an in-flight computation (they did not compute).
+	Hits uint64
+	// Misses counts the computations actually run — exactly one per
+	// fingerprint under singleflight, however many callers raced.
+	Misses uint64
+	// Evictions counts entries dropped by the LRU policy.
+	Evictions uint64
+	// Entries is the current number of cached keys.
+	Entries int
+}
+
+// HitRate is Hits / (Hits + Misses), or 0 before any lookup.
+func (s Stats) HitRate() float64 {
+	if s.Hits+s.Misses == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(s.Hits+s.Misses)
+}
+
+// Cache is a sharded LRU with singleflight value computation. The zero
+// value is not usable; construct with New.
+type Cache[V any] struct {
+	shards    []shard[V]
+	hits      atomic.Uint64
+	misses    atomic.Uint64
+	evictions atomic.Uint64
+}
+
+// entry is one cached key. ready is closed once val/err are set; LRU
+// links are guarded by the shard lock, val/err by the ready barrier.
+type entry[V any] struct {
+	key        string
+	ready      chan struct{}
+	val        V
+	err        error
+	prev, next *entry[V]
+}
+
+type shard[V any] struct {
+	mu       sync.Mutex
+	m        map[string]*entry[V]
+	capacity int
+	// Doubly-linked LRU list: head is most recently used. The sentinel
+	// root makes link manipulation branch-free.
+	root entry[V]
+}
+
+// New returns a cache holding up to capacity entries in total, rounded
+// up to the next multiple of the shard count — New(10) admits up to 16
+// (8 shards of 2) — so the configured size is a guaranteed floor and
+// the ceiling exceeds it by at most shardCount-1 entries. capacity <= 0
+// means a default of 256.
+func New[V any](capacity int) *Cache[V] {
+	if capacity <= 0 {
+		capacity = defaultCapacity
+	}
+	ns := shardCount
+	if capacity < ns {
+		ns = 1
+	}
+	c := &Cache[V]{shards: make([]shard[V], ns)}
+	per := (capacity + ns - 1) / ns
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.m = make(map[string]*entry[V])
+		s.capacity = per
+		s.root.prev = &s.root
+		s.root.next = &s.root
+	}
+	return c
+}
+
+// Do returns the value cached under key, computing it with compute on
+// first use. Concurrent calls for the same key block on one in-flight
+// computation (singleflight); calls for distinct keys proceed in
+// parallel — compute runs outside the shard lock. hit reports whether
+// the value came from the cache (possibly by joining an in-flight
+// computation) rather than from this call's own compute.
+//
+// A compute error is returned to every waiting caller and the entry is
+// dropped, so a later Do retries.
+func (c *Cache[V]) Do(key string, compute func() (V, error)) (v V, hit bool, err error) {
+	s := &c.shards[shardIndex(key)%uint32(len(c.shards))]
+	s.mu.Lock()
+	if e, ok := s.m[key]; ok {
+		s.moveToFront(e)
+		s.mu.Unlock()
+		<-e.ready
+		if e.err != nil {
+			return v, false, e.err
+		}
+		c.hits.Add(1)
+		return e.val, true, nil
+	}
+	e := &entry[V]{key: key, ready: make(chan struct{})}
+	s.m[key] = e
+	s.pushFront(e)
+	var evict *entry[V]
+	if len(s.m) > s.capacity {
+		// Evict the least recently used entry (never the one just
+		// inserted). An evicted in-flight entry still completes for its
+		// waiters; it is simply no longer findable.
+		if lru := s.root.prev; lru != e {
+			s.unlink(lru)
+			delete(s.m, lru.key)
+			evict = lru
+		}
+	}
+	s.mu.Unlock()
+	if evict != nil {
+		c.evictions.Add(1)
+	}
+
+	e.val, e.err = compute()
+	close(e.ready)
+	c.misses.Add(1)
+	if e.err != nil {
+		s.mu.Lock()
+		if cur, ok := s.m[key]; ok && cur == e {
+			s.unlink(e)
+			delete(s.m, key)
+		}
+		s.mu.Unlock()
+		return v, false, e.err
+	}
+	return e.val, false, nil
+}
+
+// Get returns the cached value for key without computing, reporting
+// whether a completed entry was present. It does not block on in-flight
+// computations and does not touch recency.
+func (c *Cache[V]) Get(key string) (v V, ok bool) {
+	s := &c.shards[shardIndex(key)%uint32(len(c.shards))]
+	s.mu.Lock()
+	e, present := s.m[key]
+	s.mu.Unlock()
+	if !present {
+		return v, false
+	}
+	select {
+	case <-e.ready:
+		if e.err != nil {
+			return v, false
+		}
+		return e.val, true
+	default:
+		return v, false
+	}
+}
+
+// Len is the current number of cached keys.
+func (c *Cache[V]) Len() int {
+	n := 0
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		n += len(s.m)
+		s.mu.Unlock()
+	}
+	return n
+}
+
+// Stats snapshots the cache counters.
+func (c *Cache[V]) Stats() Stats {
+	return Stats{
+		Hits:      c.hits.Load(),
+		Misses:    c.misses.Load(),
+		Evictions: c.evictions.Load(),
+		Entries:   c.Len(),
+	}
+}
+
+// Purge drops every cached entry (counters are kept).
+func (c *Cache[V]) Purge() {
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		s.m = make(map[string]*entry[V])
+		s.root.prev = &s.root
+		s.root.next = &s.root
+		s.mu.Unlock()
+	}
+}
+
+func (s *shard[V]) pushFront(e *entry[V]) {
+	e.prev = &s.root
+	e.next = s.root.next
+	e.prev.next = e
+	e.next.prev = e
+}
+
+func (s *shard[V]) unlink(e *entry[V]) {
+	e.prev.next = e.next
+	e.next.prev = e.prev
+	e.prev, e.next = nil, nil
+}
+
+func (s *shard[V]) moveToFront(e *entry[V]) {
+	if s.root.next == e {
+		return
+	}
+	e.prev.next = e.next
+	e.next.prev = e.prev
+	s.pushFront(e)
+}
+
+// shardIndex hashes a key (FNV-1a) to pick its shard.
+func shardIndex(key string) uint32 {
+	h := uint32(2166136261)
+	for i := 0; i < len(key); i++ {
+		h = (h ^ uint32(key[i])) * 16777619
+	}
+	return h
+}

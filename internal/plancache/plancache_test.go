@@ -1,0 +1,146 @@
+package plancache
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestDoBasic(t *testing.T) {
+	c := New[int](4)
+	v, hit, err := c.Do("a", func() (int, error) { return 1, nil })
+	if err != nil || hit || v != 1 {
+		t.Fatalf("first Do: v=%d hit=%v err=%v", v, hit, err)
+	}
+	v, hit, err = c.Do("a", func() (int, error) { t.Fatal("recomputed"); return 0, nil })
+	if err != nil || !hit || v != 1 {
+		t.Fatalf("second Do: v=%d hit=%v err=%v", v, hit, err)
+	}
+	st := c.Stats()
+	if st.Hits != 1 || st.Misses != 1 || st.Entries != 1 {
+		t.Errorf("stats = %+v", st)
+	}
+	if st.HitRate() != 0.5 {
+		t.Errorf("hit rate = %v, want 0.5", st.HitRate())
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	c := New[int](2) // capacity < shardCount: a single shard, capacity 2
+	if len(c.shards) != 1 {
+		t.Fatalf("want 1 shard for tiny capacity, got %d", len(c.shards))
+	}
+	mk := func(k string, v int) {
+		if _, _, err := c.Do(k, func() (int, error) { return v, nil }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mk("a", 1)
+	mk("b", 2)
+	mk("a", 1) // touch a: b is now LRU
+	mk("c", 3) // evicts b
+	if _, ok := c.Get("b"); ok {
+		t.Error("b should have been evicted")
+	}
+	for _, k := range []string{"a", "c"} {
+		if _, ok := c.Get(k); !ok {
+			t.Errorf("%s should be cached", k)
+		}
+	}
+	st := c.Stats()
+	if st.Evictions != 1 || st.Entries != 2 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestSingleflight(t *testing.T) {
+	c := New[int](8)
+	const waiters = 32
+	var computes atomic.Int32
+	gate := make(chan struct{})
+	var wg sync.WaitGroup
+	for i := 0; i < waiters; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			v, _, err := c.Do("key", func() (int, error) {
+				computes.Add(1)
+				<-gate // hold every racer in the waiting path
+				return 42, nil
+			})
+			if err != nil || v != 42 {
+				t.Errorf("v=%d err=%v", v, err)
+			}
+		}()
+	}
+	close(gate)
+	wg.Wait()
+	if n := computes.Load(); n != 1 {
+		t.Errorf("compute ran %d times, want 1", n)
+	}
+	st := c.Stats()
+	if st.Misses != 1 || st.Hits != waiters-1 {
+		t.Errorf("stats = %+v, want 1 miss and %d hits", st, waiters-1)
+	}
+}
+
+func TestErrorNotCached(t *testing.T) {
+	c := New[int](4)
+	boom := errors.New("boom")
+	if _, _, err := c.Do("k", func() (int, error) { return 0, boom }); !errors.Is(err, boom) {
+		t.Fatalf("err = %v", err)
+	}
+	if c.Len() != 0 {
+		t.Fatal("failed computation left an entry")
+	}
+	v, hit, err := c.Do("k", func() (int, error) { return 7, nil })
+	if err != nil || hit || v != 7 {
+		t.Fatalf("retry: v=%d hit=%v err=%v", v, hit, err)
+	}
+}
+
+func TestConcurrentDistinctKeys(t *testing.T) {
+	c := New[int](1024)
+	var wg sync.WaitGroup
+	const gors = 16
+	const keys = 64
+	var computes atomic.Int32
+	for g := 0; g < gors; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 4*keys; i++ {
+				k := fmt.Sprintf("key-%d", (g+i)%keys)
+				want := (g + i) % keys
+				v, _, err := c.Do(k, func() (int, error) {
+					computes.Add(1)
+					return want, nil
+				})
+				if err != nil || v != want {
+					t.Errorf("k=%s v=%d want %d err=%v", k, v, want, err)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if n := computes.Load(); n != keys {
+		t.Errorf("computes = %d, want exactly %d (one per key)", n, keys)
+	}
+	if c.Len() != keys {
+		t.Errorf("len = %d, want %d", c.Len(), keys)
+	}
+}
+
+func TestPurge(t *testing.T) {
+	c := New[int](16)
+	c.Do("a", func() (int, error) { return 1, nil })
+	c.Purge()
+	if c.Len() != 0 {
+		t.Error("purge left entries")
+	}
+	if _, hit, _ := c.Do("a", func() (int, error) { return 2, nil }); hit {
+		t.Error("hit after purge")
+	}
+}

@@ -1,0 +1,186 @@
+package sparql
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"sort"
+
+	"cliquesquare/internal/rdf"
+)
+
+// Canonical is the canonical form of a query, the unit the plan cache
+// keys on. Canonicalization renames variables by first occurrence in a
+// deterministically ordered pattern list and lifts constants out into a
+// binding vector, so that queries differing only in variable names or
+// pattern order — and, at the Shape level, only in their constants —
+// are recognized as the same query shape.
+//
+// Two fingerprints are derived:
+//
+//   - Shape digests the constant-free structure: the canonically
+//     ordered patterns with variables replaced by canonical ordinals
+//     and constants by binding-slot ordinals, plus the SELECT list.
+//     Alpha-equivalent queries with different constants share a Shape.
+//   - Key digests the Shape together with the binding vector. Equal
+//     Keys imply equal canonical queries (same pattern multiset up to
+//     variable renaming, same constants, same SELECT order), so a plan
+//     prepared for one query with a given Key is valid — and chooses
+//     the same operators, costs and statistics — for every other query
+//     with that Key. Key is what the plan cache indexes on.
+//
+// The query Name is a display label and takes part in neither digest.
+type Canonical struct {
+	// Shape is the hex fingerprint of the constant-free query shape.
+	Shape string
+	// Bindings are the lifted constants in binding-slot order (slot i
+	// holds the i-th distinct constant of the canonical pattern order).
+	Bindings []rdf.Term
+	// Key is the hex fingerprint of shape plus bindings: the full,
+	// semantics-preserving plan-cache key.
+	Key string
+}
+
+// Canonicalize computes the canonical form of q. It does not modify q.
+//
+// The pattern order is fixed by color refinement (1-WL) on the
+// variable/pattern incidence structure: every variable starts with one
+// color, each round re-colors a pattern by its positions (constants by
+// value, variables by color) and a variable by the multiset of its
+// (pattern color, position) occurrences, until the variable partition
+// stabilizes. Colors are functions of structure alone, so the induced
+// pattern order — and therefore the whole canonical form — is invariant
+// under variable renaming and pattern permutation. Patterns refinement
+// cannot tell apart are structurally interchangeable for every query
+// shape in practice; in the rare symmetric cases 1-WL misjudges, ties
+// fall back to input order, which can only miss a cache hit, never
+// produce a wrong one (the Key digests the full canonical query).
+func Canonicalize(q *Query) Canonical {
+	// Collect variables deterministically (sorted).
+	vars := q.Vars()
+	color := make(map[string]string, len(vars))
+	for _, v := range vars {
+		color[v] = ""
+	}
+	pkeys := make([]string, len(q.Patterns))
+	patternColor := func(tp TriplePattern) string {
+		h := sha256.New()
+		for _, pt := range []PatternTerm{tp.S, tp.P, tp.O} {
+			if pt.IsVar {
+				h.Write([]byte{'v'})
+				h.Write([]byte(color[pt.Var]))
+			} else {
+				h.Write([]byte{'c', byte(pt.Term.Kind)})
+				h.Write([]byte(pt.Term.Value))
+			}
+			h.Write([]byte{0})
+		}
+		return string(h.Sum(nil))
+	}
+	distinct := 0
+	for round := 0; round <= len(q.Patterns)+1; round++ {
+		for i, tp := range q.Patterns {
+			pkeys[i] = patternColor(tp)
+		}
+		// Re-color variables by their occurrence multisets.
+		occs := make(map[string][]string, len(vars))
+		for i, tp := range q.Patterns {
+			for p, pt := range []PatternTerm{tp.S, tp.P, tp.O} {
+				if pt.IsVar {
+					occs[pt.Var] = append(occs[pt.Var], pkeys[i]+string(rune('0'+p)))
+				}
+			}
+		}
+		next := make(map[string]string, len(vars))
+		seen := make(map[string]bool, len(vars))
+		for _, v := range vars {
+			os := occs[v]
+			sort.Strings(os)
+			h := sha256.New()
+			for _, o := range os {
+				h.Write([]byte(o))
+			}
+			next[v] = string(h.Sum(nil))
+			seen[next[v]] = true
+		}
+		color = next
+		if len(seen) == distinct {
+			break // partition stable: no class split this round
+		}
+		distinct = len(seen)
+	}
+	// Order patterns by their final structural color; stable sort keeps
+	// input order among refinement-indistinguishable patterns.
+	order := make([]int, len(q.Patterns))
+	for i := range order {
+		order[i] = i
+	}
+	for i, tp := range q.Patterns {
+		pkeys[i] = patternColor(tp)
+	}
+	sort.SliceStable(order, func(a, b int) bool { return pkeys[order[a]] < pkeys[order[b]] })
+
+	// Rename variables by first occurrence in the canonical order and
+	// lift constants into binding slots, then encode the canonical
+	// query. The encoding is injective — it is the canonical query
+	// itself — so equal digests (collisions aside) mean equal canonical
+	// queries.
+	rank := make(map[string]int, len(vars))
+	slot := make(map[rdf.Term]int)
+	var bindings []rdf.Term
+	var shape []byte
+	for _, i := range order {
+		tp := q.Patterns[i]
+		for _, pt := range []PatternTerm{tp.S, tp.P, tp.O} {
+			if pt.IsVar {
+				r, ok := rank[pt.Var]
+				if !ok {
+					r = len(rank)
+					rank[pt.Var] = r
+				}
+				shape = appendUvarint(append(shape, 'v'), r)
+				continue
+			}
+			s, ok := slot[pt.Term]
+			if !ok {
+				s = len(bindings)
+				slot[pt.Term] = s
+				bindings = append(bindings, pt.Term)
+			}
+			shape = appendUvarint(append(shape, 'b'), s)
+		}
+		shape = append(shape, '.')
+	}
+	shape = append(shape, 's')
+	for _, v := range q.Select {
+		if r, ok := rank[v]; ok {
+			shape = appendUvarint(shape, r)
+			continue
+		}
+		// A selected variable absent from every pattern (an invalid
+		// query — Validate rejects it) must still encode distinctly, so
+		// a malformed query can never share a fingerprint with a valid
+		// one.
+		shape = append(shape, 'u')
+		shape = append(shape, v...)
+		shape = append(shape, 0)
+	}
+
+	h := sha256.Sum256(shape)
+	c := Canonical{Shape: hex.EncodeToString(h[:]), Bindings: bindings}
+	kh := sha256.New()
+	kh.Write(shape)
+	for _, t := range bindings {
+		kh.Write([]byte{0, byte(t.Kind)})
+		kh.Write([]byte(t.Value))
+	}
+	c.Key = hex.EncodeToString(kh.Sum(nil))
+	return c
+}
+
+// appendUvarint appends x in a self-delimiting binary form, keeping the
+// shape encoding unambiguous.
+func appendUvarint(buf []byte, x int) []byte {
+	var tmp [binary.MaxVarintLen64]byte
+	return append(buf, tmp[:binary.PutUvarint(tmp[:], uint64(x))]...)
+}

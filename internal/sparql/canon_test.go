@@ -1,0 +1,107 @@
+package sparql
+
+import (
+	"testing"
+
+	"cliquesquare/internal/rdf"
+)
+
+func TestCanonicalizeAlphaEquivalence(t *testing.T) {
+	base := MustParse(`SELECT ?a ?c WHERE { ?a <knows> ?b . ?b <knows> ?c . ?c <type> <Person> }`)
+	variants := []*Query{
+		// Renamed variables.
+		MustParse(`SELECT ?x ?z WHERE { ?x <knows> ?y . ?y <knows> ?z . ?z <type> <Person> }`),
+		// Reordered patterns.
+		MustParse(`SELECT ?a ?c WHERE { ?c <type> <Person> . ?b <knows> ?c . ?a <knows> ?b }`),
+		// Both at once.
+		MustParse(`SELECT ?p ?r WHERE { ?r <type> <Person> . ?p <knows> ?q . ?q <knows> ?r }`),
+	}
+	want := Canonicalize(base)
+	for i, v := range variants {
+		got := Canonicalize(v)
+		if got.Key != want.Key {
+			t.Errorf("variant %d: key %s != base %s", i, got.Key, want.Key)
+		}
+		if got.Shape != want.Shape {
+			t.Errorf("variant %d: shape %s != base %s", i, got.Shape, want.Shape)
+		}
+	}
+}
+
+func TestCanonicalizeNameIgnored(t *testing.T) {
+	a := MustParse(`SELECT ?a WHERE { ?a <p> ?b }`)
+	b := MustParse(`SELECT ?a WHERE { ?a <p> ?b }`)
+	b.Name = "Q99"
+	if Canonicalize(a).Key != Canonicalize(b).Key {
+		t.Error("query name changed the fingerprint")
+	}
+}
+
+func TestCanonicalizeConstantsLifted(t *testing.T) {
+	a := MustParse(`SELECT ?x WHERE { ?x <worksFor> <acme> . ?x <type> <Person> }`)
+	b := MustParse(`SELECT ?x WHERE { ?x <worksFor> <globex> . ?x <type> <Person> }`)
+	ca, cb := Canonicalize(a), Canonicalize(b)
+	if ca.Shape != cb.Shape {
+		t.Errorf("same shape expected: %s vs %s", ca.Shape, cb.Shape)
+	}
+	if ca.Key == cb.Key {
+		t.Error("different constants must yield different keys")
+	}
+	if len(ca.Bindings) != 4 {
+		t.Errorf("bindings = %v, want 4 lifted constants", ca.Bindings)
+	}
+	for _, c := range []Canonical{ca, cb} {
+		seen := make(map[rdf.Term]bool)
+		for _, b := range c.Bindings {
+			if seen[b] {
+				t.Errorf("binding %v lifted twice", b)
+			}
+			seen[b] = true
+		}
+	}
+}
+
+func TestCanonicalizeDistinguishes(t *testing.T) {
+	qs := []*Query{
+		MustParse(`SELECT ?a WHERE { ?a <p> ?b . ?b <p> ?c }`),
+		// Different join structure (s-s instead of o-s).
+		MustParse(`SELECT ?a WHERE { ?a <p> ?b . ?a <p> ?c }`),
+		// Different select variable.
+		MustParse(`SELECT ?b WHERE { ?a <p> ?b . ?b <p> ?c }`),
+		// Different select order.
+		MustParse(`SELECT ?a ?b WHERE { ?a <p> ?b . ?b <p> ?c }`),
+		MustParse(`SELECT ?b ?a WHERE { ?a <p> ?b . ?b <p> ?c }`),
+		// Repeated constant vs distinct constants.
+		MustParse(`SELECT ?x WHERE { ?x <p> "v" . ?x <q> "v" }`),
+		MustParse(`SELECT ?x WHERE { ?x <p> "v" . ?x <q> "w" }`),
+		// Literal vs IRI constant.
+		MustParse(`SELECT ?x WHERE { ?x <p> "v" }`),
+		MustParse(`SELECT ?x WHERE { ?x <p> <v> }`),
+		// Extra pattern.
+		MustParse(`SELECT ?a WHERE { ?a <p> ?b . ?b <p> ?c . ?c <p> ?d }`),
+	}
+	seen := make(map[string]int)
+	for i, q := range qs {
+		k := Canonicalize(q).Key
+		if j, dup := seen[k]; dup {
+			t.Errorf("queries %d and %d share a key: %s and %s", j, i, qs[j], q)
+		}
+		seen[k] = i
+	}
+}
+
+func TestCanonicalizeDeterministic(t *testing.T) {
+	q := MustParse(`SELECT ?a ?b WHERE {
+		?a <p1> ?b . ?a <p2> ?c . ?d <p3> ?a . ?d <p4> ?e .
+		?l <p5> ?d . ?f <p6> ?d . ?f <p7> ?g . ?g <p8> ?h }`)
+	want := Canonicalize(q)
+	for i := 0; i < 10; i++ {
+		if got := Canonicalize(q); got.Key != want.Key || got.Shape != want.Shape {
+			t.Fatalf("run %d: canonicalization not deterministic", i)
+		}
+	}
+	// Canonicalize must not modify the query.
+	if q.Patterns[0].S.Var != "a" || q.Select[0] != "a" {
+		t.Error("Canonicalize mutated the query")
+	}
+}

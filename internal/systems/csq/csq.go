@@ -16,6 +16,7 @@ import (
 	"cliquesquare/internal/mapreduce"
 	"cliquesquare/internal/partition"
 	"cliquesquare/internal/physical"
+	"cliquesquare/internal/plancache"
 	"cliquesquare/internal/rdf"
 	"cliquesquare/internal/sparql"
 	"cliquesquare/internal/systems"
@@ -50,6 +51,12 @@ type Config struct {
 	Sequential bool
 	// StatsSink, if non-nil, receives each job's stats as it completes.
 	StatsSink func(mapreduce.JobStats)
+	// PlanCacheSize caps the number of prepared plans the engine
+	// retains, keyed on canonical query fingerprints; 0 means a default
+	// of 256 entries, negative disables plan caching entirely. The cap
+	// is approximate: sharding rounds it up to the next multiple of the
+	// shard count (see plancache.New).
+	PlanCacheSize int
 }
 
 // DefaultConfig mirrors the paper's setup: 7 nodes, MSC.
@@ -64,12 +71,19 @@ func DefaultConfig() Config {
 	}
 }
 
-// Engine is a loaded CSQ instance.
+// Engine is a loaded CSQ instance. All of its entry points — Prepare,
+// PrepareCached, ExecutePrepared, Plan, ExecutePlan, Run — are safe for
+// concurrent use: planning reads only immutable engine state (graph,
+// dictionary, partitioner), execution draws per-call scratch from the
+// context pool, and the plan cache synchronizes itself.
 type Engine struct {
 	cfg   Config
 	graph *rdf.Graph
 	store *dstore.Store
 	part  *partition.Partitioner
+	// cache maps canonical query fingerprints to prepared plans; nil
+	// when caching is disabled.
+	cache *plancache.Cache[*Prepared]
 	// ctxPool recycles ExecContexts (and their per-node scratch
 	// arenas) across plan executions; concurrent executions each get
 	// their own context.
@@ -80,12 +94,16 @@ type Engine struct {
 // engine.
 func New(g *rdf.Graph, cfg Config) *Engine {
 	store := dstore.NewStore(cfg.Nodes)
-	return &Engine{
+	e := &Engine{
 		cfg:   cfg,
 		graph: g,
 		store: store,
 		part:  partition.LoadWithMode(store, g, cfg.Partitioning),
 	}
+	if cfg.PlanCacheSize >= 0 {
+		e.cache = plancache.New[*Prepared](cfg.PlanCacheSize)
+	}
+	return e
 }
 
 // Name implements systems.System.

@@ -1,0 +1,107 @@
+package csq
+
+import (
+	"cliquesquare/internal/core"
+	"cliquesquare/internal/physical"
+	"cliquesquare/internal/plancache"
+	"cliquesquare/internal/sparql"
+)
+
+// Prepared is the reusable artifact of planning one query: the
+// cost-selected logical plan, its compiled physical plan and the
+// optimizer's plan-space statistics. A Prepared is immutable after
+// Prepare returns and safe to execute from many goroutines at once —
+// execution state lives in per-call ExecContexts, never in the plan —
+// which is what lets one cached Prepared serve concurrent requests.
+type Prepared struct {
+	// Query is the query instance that was planned. For cache hits this
+	// is the first instance of the cache key (canonical fingerprint +
+	// Name) to reach the optimizer; an alpha-equivalent, same-named
+	// later query shares its plan.
+	Query *sparql.Query
+	// Logical is the chosen logical plan (after projection push-down).
+	Logical *core.Plan
+	// Physical is the compiled physical plan.
+	Physical *physical.Plan
+	// Height is the logical plan's height, snapshotted at Prepare time
+	// so executions never touch the plan's lazy accessors.
+	Height int
+	// PlansExplored and UniquePlans report the optimizer's plan-space
+	// statistics for the run that produced this plan.
+	PlansExplored int
+	UniquePlans   int
+	// Fingerprint is the cache key this plan is stored under: the
+	// canonical fingerprint of shape plus bindings, composed with the
+	// query Name (empty when the plan was prepared without the cache).
+	Fingerprint string
+}
+
+// Prepare optimizes, selects and compiles q into an immutable Prepared
+// plan, without consulting the plan cache. This is the plan-once half
+// of the plan-once/execute-many split; ExecutePrepared is the other.
+func (e *Engine) Prepare(q *sparql.Query) (*Prepared, error) {
+	best, pp, res, err := e.Plan(q)
+	if err != nil {
+		return nil, err
+	}
+	// Warm the logical plan's lazy memos (height, signature) before the
+	// Prepared escapes: their first computation writes to the shared
+	// operator DAG, so it must happen-before concurrent executions.
+	h := best.Height()
+	best.Signature()
+	return &Prepared{
+		Query:         q,
+		Logical:       best,
+		Physical:      pp,
+		Height:        h,
+		PlansExplored: len(res.Plans),
+		UniquePlans:   len(res.Unique),
+	}, nil
+}
+
+// PrepareCached returns the prepared plan for q's cache key, planning
+// it on first use. Concurrent calls for the same key plan exactly once
+// (singleflight); distinct keys plan in parallel. hit reports whether
+// the plan came from the cache. With caching disabled
+// (Config.PlanCacheSize < 0) it degrades to Prepare.
+//
+// The cache key is q's canonical fingerprint (sparql.Canonicalize:
+// variable names and pattern order do not matter) plus q's Name —
+// simulated job names derive from the Name, so folding it into the key
+// keeps cached and uncached JobStats byte-identical even for renamed
+// but otherwise equivalent queries.
+func (e *Engine) PrepareCached(q *sparql.Query) (p *Prepared, hit bool, err error) {
+	// Validate up front: the uncached path rejects malformed queries in
+	// the optimizer, and an unvalidated query must not be able to
+	// collide with — and be served from — a valid query's cache entry.
+	if err := q.Validate(); err != nil {
+		return nil, false, err
+	}
+	if e.cache == nil {
+		p, err = e.Prepare(q)
+		return p, false, err
+	}
+	key := sparql.Canonicalize(q).Key + "\x00" + q.Name
+	return e.cache.Do(key, func() (*Prepared, error) {
+		p, err := e.Prepare(q)
+		if err == nil {
+			p.Fingerprint = key
+		}
+		return p, err
+	})
+}
+
+// ExecutePrepared runs a prepared plan on a fresh cluster clock. Many
+// goroutines may execute the same Prepared simultaneously.
+func (e *Engine) ExecutePrepared(p *Prepared) (*physical.Result, error) {
+	return e.ExecutePlan(p.Physical)
+}
+
+// CacheStats snapshots the plan cache counters (zero Stats when
+// caching is disabled).
+func (e *Engine) CacheStats() plancache.Stats {
+	if e.cache == nil {
+		return plancache.Stats{}
+	}
+	return e.cache.Stats()
+}

@@ -15,7 +15,25 @@ type Budget struct {
 	MaxCovers int
 	// Deadline, if non-zero, stops enumeration when passed.
 	Deadline time.Time
+
+	// calls counts covers since the last clock read and stride how
+	// many covers pass between reads, amortizing the deadline check.
+	calls, stride int
+	lastCheck     time.Time
 }
+
+// Deadline-check amortization: capped sits on the enumeration hot
+// path, where a clock read per cover would dominate the actual cover
+// search when covers are cheap. The stride between clock reads adapts
+// to the observed cover rate — it doubles (up to maxStride) while
+// covers arrive faster than checkInterval per stride and shrinks back
+// when they are slow — so fast enumerations pay one clock read per 64
+// covers while slow ones keep the deadline overshoot bounded to about
+// a stride of near-checkInterval work.
+const (
+	maxStride     = 64
+	checkInterval = 100 * time.Microsecond
+)
 
 func (b *Budget) capped(have int) bool {
 	if b == nil {
@@ -24,10 +42,26 @@ func (b *Budget) capped(have int) bool {
 	if b.MaxCovers > 0 && have >= b.MaxCovers {
 		return true
 	}
-	if !b.Deadline.IsZero() && time.Now().After(b.Deadline) {
-		return true
+	if b.Deadline.IsZero() {
+		return false
 	}
-	return false
+	if b.stride == 0 {
+		b.stride = 1
+	}
+	if b.calls++; b.calls < b.stride {
+		return false
+	}
+	b.calls = 0
+	now := time.Now()
+	if !b.lastCheck.IsZero() {
+		if elapsed := now.Sub(b.lastCheck); elapsed < checkInterval && b.stride < maxStride {
+			b.stride *= 2
+		} else if elapsed > 4*checkInterval && b.stride > 1 {
+			b.stride /= 2
+		}
+	}
+	b.lastCheck = now
+	return now.After(b.Deadline)
 }
 
 // Decompositions enumerates the clique decompositions of g under method

@@ -2,6 +2,7 @@ package vargraph
 
 import (
 	"testing"
+	"time"
 
 	"cliquesquare/internal/sparql"
 )
@@ -338,6 +339,19 @@ func TestBudgetTruncates(t *testing.T) {
 	ds, trunc := Decompositions(g, SC, &Budget{MaxCovers: 10})
 	if len(ds) != 10 || !trunc {
 		t.Errorf("got %d covers, truncated=%v; want 10, true", len(ds), trunc)
+	}
+}
+
+func TestBudgetDeadlineTruncates(t *testing.T) {
+	// An already-expired deadline stops the enumeration at the first
+	// cover — the amortized clock check still observes call one.
+	g := FromQuery(paperQ1())
+	ds, trunc := Decompositions(g, SC, &Budget{Deadline: time.Now().Add(-time.Second)})
+	if !trunc {
+		t.Error("expired deadline did not truncate the enumeration")
+	}
+	if len(ds) > 1 {
+		t.Errorf("deadline observed only after %d covers (stride starts at 1)", len(ds))
 	}
 }
 
