@@ -74,6 +74,13 @@ type Options struct {
 	// identical results and statistics — the cache only removes
 	// repeated optimizer work.
 	PlanCacheSize int
+	// ReplanDriftThreshold tunes plan-cache revalidation after updates.
+	// 0 (the default) re-runs cost-based plan choice whenever the data
+	// version moved, keeping cached executions identical to freshly
+	// planned ones; a positive fraction keeps the cached plan while its
+	// modeled cost drifts by at most that much (results stay correct —
+	// only the plan choice may lag the statistics).
+	ReplanDriftThreshold float64
 }
 
 // Engine evaluates queries over a partitioned dataset.
@@ -105,6 +112,7 @@ func NewEngine(g *Graph, opts Options) (*Engine, error) {
 		cfg.Parallelism = opts.Parallelism
 	}
 	cfg.PlanCacheSize = opts.PlanCacheSize
+	cfg.ReplanDriftThreshold = opts.ReplanDriftThreshold
 	return &Engine{inner: csq.New(g, cfg), dict: g.Dict}, nil
 }
 
@@ -128,7 +136,115 @@ type Result struct {
 	// PlanCached reports whether the executed plan came from the
 	// engine's plan cache rather than a fresh optimizer run.
 	PlanCached bool
+	// DataVersion is the data epoch this answer was computed from:
+	// 1 after the initial load, +1 per applied batch. An execution pins
+	// one epoch end to end (snapshot isolation), so the answer reflects
+	// exactly the batches committed up to this version — never a torn
+	// batch.
+	DataVersion uint64
 }
+
+// Term is a decoded RDF term (re-exported from the rdf package).
+type Term = rdf.Term
+
+// IRI returns an IRI term for use in update batches.
+func IRI(v string) Term { return rdf.NewIRI(v) }
+
+// Literal returns a literal term for use in update batches.
+func Literal(v string) Term { return rdf.NewLiteral(v) }
+
+// Batch accumulates graph updates (inserts and deletes) to be applied
+// atomically by Engine.ApplyBatch. The zero value is ready to use;
+// builder methods return the batch for chaining.
+type Batch struct {
+	ins, del [][3]Term
+}
+
+// Insert adds one triple insertion to the batch.
+func (b *Batch) Insert(s, p, o Term) *Batch {
+	b.ins = append(b.ins, [3]Term{s, p, o})
+	return b
+}
+
+// InsertSPO is Insert with all three terms as IRIs.
+func (b *Batch) InsertSPO(s, p, o string) *Batch { return b.Insert(IRI(s), IRI(p), IRI(o)) }
+
+// InsertSPOLit is Insert with IRI subject/property and a literal object.
+func (b *Batch) InsertSPOLit(s, p, o string) *Batch { return b.Insert(IRI(s), IRI(p), Literal(o)) }
+
+// Delete adds one triple deletion to the batch. Deleting a triple not
+// in the graph is a no-op.
+func (b *Batch) Delete(s, p, o Term) *Batch {
+	b.del = append(b.del, [3]Term{s, p, o})
+	return b
+}
+
+// DeleteSPO is Delete with all three terms as IRIs.
+func (b *Batch) DeleteSPO(s, p, o string) *Batch { return b.Delete(IRI(s), IRI(p), IRI(o)) }
+
+// DeleteSPOLit is Delete with IRI subject/property and a literal object.
+func (b *Batch) DeleteSPOLit(s, p, o string) *Batch { return b.Delete(IRI(s), IRI(p), Literal(o)) }
+
+// Len reports the number of buffered operations.
+func (b *Batch) Len() int { return len(b.ins) + len(b.del) }
+
+// BatchResult reports what an ApplyBatch call actually changed
+// (re-exported from the csq engine).
+type BatchResult = csq.BatchResult
+
+// ApplyBatch applies the batch's deletes then inserts as one atomic
+// data epoch: concurrent queries observe either none or all of it
+// (snapshot isolation — each execution pins one epoch), results after
+// it are identical to a fresh engine loaded from the mutated graph,
+// and cached plans revalidate against the new statistics on next use.
+// Inserts of triples already present and deletes of absent triples are
+// no-ops, reflected in the returned effective counts.
+func (e *Engine) ApplyBatch(b *Batch) (BatchResult, error) {
+	ins := make([]rdf.Triple, 0, len(b.ins))
+	for _, t := range b.ins {
+		ins = append(ins, rdf.Triple{
+			S: e.dict.Encode(t[0]),
+			P: e.dict.Encode(t[1]),
+			O: e.dict.Encode(t[2]),
+		})
+	}
+	var del []rdf.Triple
+	for _, t := range b.del {
+		// A triple with any term missing from the dictionary was never
+		// inserted, so its deletion is a no-op.
+		s, ok1 := e.dict.Lookup(t[0])
+		p, ok2 := e.dict.Lookup(t[1])
+		o, ok3 := e.dict.Lookup(t[2])
+		if ok1 && ok2 && ok3 {
+			del = append(del, rdf.Triple{S: s, P: p, O: o})
+		}
+	}
+	return e.inner.ApplyBatch(ins, del), nil
+}
+
+// Insert applies a single-triple insertion batch.
+func (e *Engine) Insert(s, p, o Term) (BatchResult, error) {
+	return e.ApplyBatch(new(Batch).Insert(s, p, o))
+}
+
+// Delete applies a single-triple deletion batch.
+func (e *Engine) Delete(s, p, o Term) (BatchResult, error) {
+	return e.ApplyBatch(new(Batch).Delete(s, p, o))
+}
+
+// DataVersion is the engine's current data epoch: 1 after the initial
+// load, incremented by every applied batch. Compare with
+// Result.DataVersion to measure read staleness under concurrent
+// writes.
+func (e *Engine) DataVersion() uint64 { return e.inner.DataVersion() }
+
+// UpdateStats is a snapshot of the engine's update and plan
+// revalidation counters (re-exported from the csq engine).
+type UpdateStats = csq.UpdateStats
+
+// UpdateStats snapshots batches applied, cached plans revalidated
+// after epoch changes, and revalidations that switched plans.
+func (e *Engine) UpdateStats() UpdateStats { return e.inner.UpdateStats() }
 
 // CacheStats is a snapshot of the plan cache counters (re-exported
 // from the plancache package).
@@ -215,6 +331,7 @@ func (p *Prepared) Run() (*Result, error) {
 		PlanHeight:    p.inner.Height,
 		PlansExplored: p.inner.PlansExplored,
 		PlanCached:    p.cached,
+		DataVersion:   r.DataVersion,
 	}
 	// Decode into pre-sized rows backed by one string slab: one
 	// allocation for the row index, one for all cells.

@@ -1,0 +1,297 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sync"
+	"time"
+
+	"cliquesquare"
+	"cliquesquare/internal/experiments"
+	"cliquesquare/internal/lubm"
+	"cliquesquare/internal/rdf"
+)
+
+// churnMetrics is the JSON shape of the mixed read/write report (the
+// BENCH_pr4.json CI artifact).
+type churnMetrics struct {
+	Universities int     `json:"universities"`
+	Nodes        int     `json:"nodes"`
+	Clients      int     `json:"clients"`
+	Writers      int     `json:"writers"`
+	BatchSize    int     `json:"batch_size"`
+	Drift        float64 `json:"replan_drift_threshold"`
+	Requests     int     `json:"requests"` // reads completed, total
+	WallSeconds  float64 `json:"wall_seconds"`
+	ReadQPS      float64 `json:"read_qps"`
+	P50Ms        float64 `json:"p50_ms"`
+	P95Ms        float64 `json:"p95_ms"`
+	P99Ms        float64 `json:"p99_ms"`
+	Batches      uint64  `json:"batches"`
+	WriteBPS     float64 `json:"write_batches_per_sec"`
+	WriteP50Ms   float64 `json:"write_p50_ms"`
+	// Staleness is measured per read as currentVersion - answerVersion
+	// at response time: how many epochs the snapshot-isolated answer
+	// trailed the writers.
+	StalenessMean float64 `json:"staleness_mean_epochs"`
+	StalenessMax  uint64  `json:"staleness_max_epochs"`
+	CacheHits     uint64  `json:"cache_hits"`
+	CacheMisses   uint64  `json:"cache_misses"`
+	Revalidations uint64  `json:"plan_revalidations"`
+	Replans       uint64  `json:"plan_replans"`
+	// EquivalenceOK reports the post-run oracle: every workload query
+	// over the churned engine answered identically to a fresh engine
+	// built from the final graph.
+	EquivalenceOK bool `json:"equivalence_ok"`
+}
+
+// churn drives one engine with -clients reader goroutines (the serving
+// mix) while -writers goroutines continuously delete and re-insert
+// disjoint slices of the dataset in -batch-sized atomic batches. It
+// reports read QPS and latency under write pressure, write throughput,
+// answer staleness in epochs, plan-cache revalidation activity, and a
+// final equivalence check against a freshly loaded engine.
+func churn(cc experiments.ClusterConfig, clients, requests, writers, batchSize int, drift float64, outPath string) error {
+	fmt.Printf("== Churn: %d readers x %d requests vs %d writers, batch %d (LUBM, %d universities, %d nodes) ==\n",
+		clients, requests, writers, batchSize, cc.Universities, cc.Nodes)
+	g := lubm.Generate(lubm.DefaultConfig(cc.Universities))
+	eng, err := cliquesquare.NewEngine(g, cliquesquare.Options{
+		Nodes:                cc.Nodes,
+		ReplanDriftThreshold: drift,
+	})
+	if err != nil {
+		return err
+	}
+	qs := lubm.Queries()
+
+	// Each writer owns a disjoint slice of the loaded triples and
+	// alternates deleting and re-inserting it in atomic batches.
+	decode := func(t rdf.Triple) [3]cliquesquare.Term {
+		return [3]cliquesquare.Term{g.Dict.Term(t.S), g.Dict.Term(t.P), g.Dict.Term(t.O)}
+	}
+	triples := g.Triples()
+	pool := make([][3]cliquesquare.Term, 0, len(triples)/2)
+	for i := 0; i < len(triples); i += 2 {
+		pool = append(pool, decode(triples[i]))
+	}
+	if writers < 0 {
+		writers = 0
+	}
+	if writers > len(pool) {
+		writers = len(pool)
+	}
+	if batchSize < 1 {
+		batchSize = 1
+	}
+	chunk := 0
+	if writers > 0 { // -writers=0 measures the read-only baseline
+		chunk = len(pool) / writers
+		if chunk > batchSize {
+			chunk = batchSize
+		}
+	}
+
+	var (
+		stop       = make(chan struct{})
+		writeMu    sync.Mutex
+		writeLat   []time.Duration
+		writersWG  sync.WaitGroup
+		readersWG  sync.WaitGroup
+		readMu     sync.Mutex
+		readLat    []time.Duration
+		staleSum   uint64
+		staleMax   uint64
+		staleReads uint64
+		runErr     error
+	)
+	fail := func(err error) {
+		readMu.Lock()
+		if runErr == nil {
+			runErr = err
+		}
+		readMu.Unlock()
+	}
+
+	start := time.Now()
+	for w := 0; w < writers; w++ {
+		mine := pool[w*chunk : (w+1)*chunk]
+		writersWG.Add(1)
+		go func() {
+			defer writersWG.Done()
+			deleted := false
+			apply := func(b *cliquesquare.Batch) bool {
+				t0 := time.Now()
+				if _, err := eng.ApplyBatch(b); err != nil {
+					fail(err)
+					return false
+				}
+				d := time.Since(t0)
+				writeMu.Lock()
+				writeLat = append(writeLat, d)
+				writeMu.Unlock()
+				return true
+			}
+			for {
+				select {
+				case <-stop:
+					// Leave the dataset whole: re-insert before exiting.
+					if deleted {
+						b := new(cliquesquare.Batch)
+						for _, t := range mine {
+							b.Insert(t[0], t[1], t[2])
+						}
+						apply(b)
+					}
+					return
+				default:
+				}
+				b := new(cliquesquare.Batch)
+				for _, t := range mine {
+					if deleted {
+						b.Insert(t[0], t[1], t[2])
+					} else {
+						b.Delete(t[0], t[1], t[2])
+					}
+				}
+				if !apply(b) {
+					return
+				}
+				deleted = !deleted
+			}
+		}()
+	}
+	for c := 0; c < clients; c++ {
+		readersWG.Add(1)
+		go func(c int) {
+			defer readersWG.Done()
+			for i := 0; i < requests; i++ {
+				q := qs[(c+i)%len(qs)]
+				t0 := time.Now()
+				p, err := eng.PrepareQuery(q)
+				if err != nil {
+					fail(err)
+					return
+				}
+				res, err := p.Run()
+				d := time.Since(t0)
+				if err != nil {
+					fail(err)
+					return
+				}
+				stale := eng.DataVersion() - res.DataVersion
+				readMu.Lock()
+				readLat = append(readLat, d)
+				staleSum += stale
+				staleReads++
+				if stale > staleMax {
+					staleMax = stale
+				}
+				readMu.Unlock()
+			}
+		}(c)
+	}
+	readersWG.Wait()
+	close(stop)
+	writersWG.Wait()
+	wall := time.Since(start)
+	if runErr != nil {
+		return runErr
+	}
+
+	// Post-run oracle: the churned engine must agree with a fresh load
+	// of the final graph on every workload query — rows AND the
+	// simulated statistics (a revalidated plan settling on a different
+	// choice than fresh planning would show up as a timing divergence
+	// with identical rows).
+	fresh, err := cliquesquare.NewEngine(g, cliquesquare.Options{Nodes: cc.Nodes})
+	if err != nil {
+		return err
+	}
+	equivalent := true
+	for _, q := range qs {
+		got, err := eng.Run(q)
+		if err != nil {
+			return err
+		}
+		want, err := fresh.Run(q)
+		if err != nil {
+			return err
+		}
+		if got.SimulatedTime != want.SimulatedTime || got.Jobs != want.Jobs {
+			equivalent = false
+			fmt.Printf("EQUIVALENCE FAILURE %s: simulated %v over %d jobs, fresh engine %v over %d\n",
+				q.Name, got.SimulatedTime, got.Jobs, want.SimulatedTime, want.Jobs)
+		}
+		if len(got.Rows) != len(want.Rows) {
+			equivalent = false
+			fmt.Printf("EQUIVALENCE FAILURE %s: %d rows, fresh engine %d\n", q.Name, len(got.Rows), len(want.Rows))
+			continue
+		}
+		for i := range got.Rows {
+			for j := range got.Rows[i] {
+				if got.Rows[i][j] != want.Rows[i][j] {
+					equivalent = false
+					fmt.Printf("EQUIVALENCE FAILURE %s: row %d differs\n", q.Name, i)
+				}
+			}
+		}
+	}
+
+	st := eng.CacheStats()
+	us := eng.UpdateStats()
+	m := churnMetrics{
+		Universities:  cc.Universities,
+		Nodes:         cc.Nodes,
+		Clients:       clients,
+		Writers:       writers,
+		BatchSize:     chunk,
+		Drift:         drift,
+		Requests:      len(readLat),
+		WallSeconds:   wall.Seconds(),
+		ReadQPS:       float64(len(readLat)) / wall.Seconds(),
+		P50Ms:         percentileMs(readLat, 50),
+		P95Ms:         percentileMs(readLat, 95),
+		P99Ms:         percentileMs(readLat, 99),
+		Batches:       us.Batches,
+		WriteBPS:      float64(us.Batches) / wall.Seconds(),
+		WriteP50Ms:    percentileMs(writeLat, 50),
+		StalenessMax:  staleMax,
+		CacheHits:     st.Hits,
+		CacheMisses:   st.Misses,
+		Revalidations: us.Revalidations,
+		Replans:       us.Replans,
+		EquivalenceOK: equivalent,
+	}
+	if staleReads > 0 {
+		m.StalenessMean = float64(staleSum) / float64(staleReads)
+	}
+
+	w := tw()
+	fmt.Fprintf(w, "reads\t%d (%.0f QPS)\n", m.Requests, m.ReadQPS)
+	fmt.Fprintf(w, "read latency p50/p95/p99\t%.3f / %.3f / %.3f ms\n", m.P50Ms, m.P95Ms, m.P99Ms)
+	fmt.Fprintf(w, "write batches\t%d (%.1f/s, p50 %.3f ms, %d rows each)\n", m.Batches, m.WriteBPS, m.WriteP50Ms, m.BatchSize)
+	fmt.Fprintf(w, "staleness (epochs)\tmean %.2f, max %d\n", m.StalenessMean, m.StalenessMax)
+	fmt.Fprintf(w, "plan cache\t%d hits, %d misses; %d revalidations, %d replans\n",
+		m.CacheHits, m.CacheMisses, m.Revalidations, m.Replans)
+	fmt.Fprintf(w, "fresh-engine equivalence\t%v\n", m.EquivalenceOK)
+	fmt.Fprintln(w)
+	if err := w.Flush(); err != nil {
+		return err
+	}
+	if !m.EquivalenceOK {
+		return fmt.Errorf("churned engine diverged from a fresh load")
+	}
+
+	if outPath != "" {
+		data, err := json.MarshalIndent(m, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(outPath, append(data, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n", outPath)
+	}
+	return nil
+}

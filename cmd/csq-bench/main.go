@@ -9,12 +9,14 @@
 //	csq-bench -exp=workload    # Figure 22 (query characteristics)
 //	csq-bench -exp=bounds      # Figure 8  (decomposition bounds)
 //	csq-bench -exp=serving     # concurrent serving: QPS, latency, cache
+//	csq-bench -exp=churn       # mixed read/write clients: QPS, staleness
 //	csq-bench -exp=all
 //
 // Flags tune the scale (-univ), cluster size (-nodes), the synthetic
-// workload size (-pershape) and the optimizer budgets. The serving
-// experiment (an engineering extension beyond the paper's single-shot
-// measurements) takes -clients and -requests, and -out writes its
+// workload size (-pershape) and the optimizer budgets. The serving and
+// churn experiments (engineering extensions beyond the paper's
+// single-shot measurements) take -clients and -requests, churn
+// additionally -writers, -batch and -drift, and -out writes their
 // metrics as JSON.
 package main
 
@@ -31,15 +33,18 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: planspace|plans|systems|workload|bounds|serving|all")
+	exp := flag.String("exp", "all", "experiment: planspace|plans|systems|workload|bounds|serving|churn|all")
 	univ := flag.Int("univ", 100, "LUBM scale (universities) for execution experiments")
 	nodes := flag.Int("nodes", 7, "simulated cluster nodes")
 	perShape := flag.Int("pershape", 30, "synthetic queries per shape (paper: 30)")
 	maxPlans := flag.Int("maxplans", 5000, "plan budget per optimizer run")
 	timeout := flag.Duration("timeout", 500*time.Millisecond, "optimizer timeout per query")
-	clients := flag.Int("clients", 8, "serving: concurrent client goroutines")
-	requests := flag.Int("requests", 100, "serving: requests per client (across the query mix)")
-	out := flag.String("out", "", "serving: write metrics JSON to this file")
+	clients := flag.Int("clients", 8, "serving/churn: concurrent reader goroutines")
+	requests := flag.Int("requests", 100, "serving/churn: requests per reader (across the query mix)")
+	writers := flag.Int("writers", 2, "churn: concurrent writer goroutines")
+	batch := flag.Int("batch", 200, "churn: max triples per update batch")
+	drift := flag.Float64("drift", 0, "churn: plan-cache replan drift threshold (0 = always re-choose)")
+	out := flag.String("out", "", "serving/churn: write metrics JSON to this file")
 	flag.Parse()
 
 	cc := experiments.DefaultClusterConfig()
@@ -61,6 +66,7 @@ func main() {
 	run("plans", func() error { return plans(cc) })
 	run("systems", func() error { return systemsCmp(cc) })
 	run("serving", func() error { return serving(cc, *clients, *requests, *out) })
+	run("churn", func() error { return churn(cc, *clients, *requests, *writers, *batch, *drift, *out) })
 }
 
 func tw() *tabwriter.Writer {

@@ -232,12 +232,21 @@ func patternFiltered(tp sparql.TriplePattern) bool {
 // Choose returns the cheapest plan under the model, or nil for an empty
 // slice.
 func (m *Model) Choose(plans []*core.Plan) *core.Plan {
-	var best *core.Plan
-	bestCost := math.Inf(1)
-	for _, p := range plans {
-		if c := m.PlanCost(p); c < bestCost {
-			best, bestCost = p, c
+	best, _, _ := m.ChooseIndexed(plans)
+	return best
+}
+
+// ChooseIndexed is Choose, additionally reporting the chosen plan's
+// index within plans and its modeled cost. Re-running it over the same
+// slice with fresher statistics is how the engine revalidates a cached
+// plan after data updates: an unchanged index means the cached choice
+// still wins. idx is -1 (cost +Inf) for an empty slice.
+func (m *Model) ChooseIndexed(plans []*core.Plan) (best *core.Plan, idx int, cost float64) {
+	idx, cost = -1, math.Inf(1)
+	for i, p := range plans {
+		if c := m.PlanCost(p); c < cost {
+			best, idx, cost = p, i, c
 		}
 	}
-	return best
+	return best, idx, cost
 }

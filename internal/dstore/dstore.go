@@ -3,16 +3,28 @@
 // of fixed-width tuple rows (an HDFS-like layout, with the three-replica
 // placement of Section 5.1 implemented by the partition package on top).
 //
-// Nodes are safe for concurrent readers (the concurrent MapReduce
-// runtime runs one goroutine per node, and replicas of the same file
-// may be scanned from several goroutines). Writes (Append, Delete) must
-// not race with reads; the engine only writes during the load phase.
+// The store is versioned with copy-on-write snapshot isolation. All
+// reads go through an immutable Snapshot: Store.Current pins the latest
+// published epoch, and a pinned Snapshot never changes — readers observe
+// a consistent cut of every node's files for as long as they hold it,
+// while writers build the next epoch. Writes are batched in a Tx
+// (Store.Begin / Tx.Commit): a commit rewrites only the touched files,
+// shares every untouched *File pointer with the previous epoch, and
+// publishes the new Snapshot atomically, so a batch is either invisible
+// or fully visible — never torn.
+//
+// Files are immutable once published. Their lazily built secondary
+// indexes are published through an atomic pointer (the hot read path
+// takes no lock), and a commit derives the successor file's indexes
+// incrementally from its predecessor's instead of discarding them.
 package dstore
 
 import (
+	"encoding/binary"
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"cliquesquare/internal/rdf"
 )
@@ -23,141 +35,498 @@ type Row []rdf.TermID
 // Clone returns an independent copy of the row.
 func (r Row) Clone() Row { return append(Row(nil), r...) }
 
-// File is a named partition file: rows sharing a schema.
+// File is a named partition file: rows sharing a schema. A File is
+// immutable once it is part of a published Snapshot — mutations produce
+// a successor File in the next epoch; readers holding this one keep an
+// unchanging view.
 type File struct {
 	Name   string
 	Schema []string // column names (e.g. "s", "p", "o")
 	Rows   []Row
 
-	// idx holds the lazily built secondary hash indexes, one per
+	// idx publishes the lazily built secondary hash indexes, one per
 	// column: constant term -> ids of the rows holding it in that
-	// column. Built on first Lookup of a column and invalidated by
-	// Append; guarded by mu so concurrent readers build it once.
-	mu  sync.Mutex
-	idx []map[rdf.TermID][]int32
+	// column. Published via an atomic pointer so Lookup's hot path is
+	// lock-free; buildMu serializes the (idempotent) slow-path builds.
+	idx     atomic.Pointer[fileIndex]
+	buildMu sync.Mutex
+}
+
+// fileIndex is one immutable generation of a file's secondary indexes.
+// cols[c] is nil until column c has been built (or derived).
+type fileIndex struct {
+	cols []map[rdf.TermID][]int32
 }
 
 // Lookup returns the ids (offsets into Rows) of the rows whose column
 // col equals id, using a secondary hash index built lazily on first
-// use. It is safe for concurrent use; the returned slice must not be
-// modified.
+// use. The hot path (index already built) is a single atomic load; the
+// returned slice must not be modified.
 func (f *File) Lookup(col int, id rdf.TermID) []int32 {
-	f.mu.Lock()
-	if f.idx == nil {
-		f.idx = make([]map[rdf.TermID][]int32, len(f.Schema))
+	if ix := f.idx.Load(); ix != nil && ix.cols[col] != nil {
+		return ix.cols[col][id]
 	}
-	ix := f.idx[col]
-	if ix == nil {
-		ix = make(map[rdf.TermID][]int32)
-		for r, row := range f.Rows {
-			ix[row[col]] = append(ix[row[col]], int32(r))
-		}
-		f.idx[col] = ix
-	}
-	f.mu.Unlock()
-	return ix[id]
+	return f.buildCol(col)[id]
 }
 
-// invalidate drops the secondary indexes after a mutation.
-func (f *File) invalidate() {
-	f.mu.Lock()
-	f.idx = nil
-	f.mu.Unlock()
+// buildCol builds column col's index and publishes a new fileIndex
+// generation carrying it (plus every previously built column).
+func (f *File) buildCol(col int) map[rdf.TermID][]int32 {
+	f.buildMu.Lock()
+	defer f.buildMu.Unlock()
+	if ix := f.idx.Load(); ix != nil && ix.cols[col] != nil {
+		return ix.cols[col] // lost the build race: reuse the winner's
+	}
+	m := make(map[rdf.TermID][]int32)
+	for r, row := range f.Rows {
+		m[row[col]] = append(m[row[col]], int32(r))
+	}
+	nix := &fileIndex{cols: make([]map[rdf.TermID][]int32, len(f.Schema))}
+	if old := f.idx.Load(); old != nil {
+		copy(nix.cols, old.cols)
+	}
+	nix.cols[col] = m
+	f.idx.Store(nix)
+	return m
 }
 
-// Node is one simulated compute node's local file store.
-type Node struct {
-	ID int
-
-	mu    sync.RWMutex
+// NodeView is one node's file set within a Snapshot: an immutable
+// point-in-time read view.
+type NodeView struct {
+	id    int
 	files map[string]*File
 }
 
-// Append adds rows to the named file, creating it (with the given
-// schema) on first use. It panics if an existing file has a different
-// schema, which would indicate a partitioning bug.
-func (n *Node) Append(name string, schema []string, rows ...Row) {
-	n.mu.Lock()
-	f, ok := n.files[name]
-	if !ok {
-		f = &File{Name: name, Schema: schema}
-		n.files[name] = f
-	} else if len(f.Schema) != len(schema) {
-		n.mu.Unlock()
-		panic(fmt.Sprintf("dstore: file %q schema mismatch: %v vs %v", name, f.Schema, schema))
-	}
-	f.Rows = append(f.Rows, rows...)
-	n.mu.Unlock()
-	f.invalidate()
-}
+// ID is the node's index in the cluster.
+func (v NodeView) ID() int { return v.id }
 
-// Get returns the named file if present.
-func (n *Node) Get(name string) (*File, bool) {
-	n.mu.RLock()
-	f, ok := n.files[name]
-	n.mu.RUnlock()
+// Get returns the named file if present in this snapshot.
+func (v NodeView) Get(name string) (*File, bool) {
+	f, ok := v.files[name]
 	return f, ok
 }
 
-// Delete removes the named file.
-func (n *Node) Delete(name string) {
-	n.mu.Lock()
-	delete(n.files, name)
-	n.mu.Unlock()
-}
-
-// Names returns all file names on the node, sorted.
-func (n *Node) Names() []string {
-	n.mu.RLock()
-	out := make([]string, 0, len(n.files))
-	for k := range n.files {
+// Names returns all file names on the node in this snapshot, sorted.
+func (v NodeView) Names() []string {
+	out := make([]string, 0, len(v.files))
+	for k := range v.files {
 		out = append(out, k)
 	}
-	n.mu.RUnlock()
 	sort.Strings(out)
 	return out
 }
 
-// Rows reports the total number of rows stored on the node.
-func (n *Node) Rows() int {
-	n.mu.RLock()
+// Rows reports the total number of rows on the node in this snapshot.
+func (v NodeView) Rows() int {
 	t := 0
-	for _, f := range n.files {
+	for _, f := range v.files {
 		t += len(f.Rows)
 	}
-	n.mu.RUnlock()
 	return t
 }
 
-// Store is the cluster-wide file store: one Node per compute node.
-type Store struct {
-	nodes []*Node
+// Snapshot is one published epoch of the whole store: an immutable,
+// consistent view of every node's files. Snapshots are cheap to pin
+// (one atomic load) and never change once obtained.
+type Snapshot struct {
+	version uint64
+	nodes   []map[string]*File
 }
 
-// NewStore creates a store with n empty nodes.
+// Version is the epoch number: 0 for the empty store, incremented by
+// every committed transaction.
+func (s *Snapshot) Version() uint64 { return s.version }
+
+// N reports the number of nodes.
+func (s *Snapshot) N() int { return len(s.nodes) }
+
+// Node returns node i's read view within this snapshot.
+func (s *Snapshot) Node(i int) NodeView { return NodeView{id: i, files: s.nodes[i]} }
+
+// TotalRows reports the number of rows across all nodes in this
+// snapshot (replicas counted separately).
+func (s *Snapshot) TotalRows() int {
+	t := 0
+	for i := range s.nodes {
+		t += s.Node(i).Rows()
+	}
+	return t
+}
+
+// Node is a live handle on one compute node: its read methods resolve
+// against the store's current snapshot, and its write methods are
+// single-file conveniences that commit a one-shot transaction (batch
+// writers should use Store.Begin instead).
+type Node struct {
+	ID    int
+	store *Store
+}
+
+// Append adds rows to the named file, creating it (with the given
+// schema) on first use, as a one-shot committed transaction. It panics
+// if an existing file has a different schema, which would indicate a
+// partitioning bug.
+func (n *Node) Append(name string, schema []string, rows ...Row) {
+	tx := n.store.Begin()
+	defer tx.Abort()
+	tx.Append(n.ID, name, schema, rows...)
+	tx.Commit()
+}
+
+// Get returns the named file from the current snapshot, if present.
+// Re-Get after a commit to observe newer epochs: the returned *File is
+// itself an immutable point-in-time view.
+func (n *Node) Get(name string) (*File, bool) {
+	return n.store.Current().Node(n.ID).Get(name)
+}
+
+// Delete removes the named file as a one-shot committed transaction.
+func (n *Node) Delete(name string) {
+	tx := n.store.Begin()
+	defer tx.Abort()
+	tx.DeleteFile(n.ID, name)
+	tx.Commit()
+}
+
+// Names returns all file names on the node in the current snapshot,
+// sorted.
+func (n *Node) Names() []string { return n.store.Current().Node(n.ID).Names() }
+
+// Rows reports the total number of rows stored on the node in the
+// current snapshot.
+func (n *Node) Rows() int { return n.store.Current().Node(n.ID).Rows() }
+
+// Store is the cluster-wide versioned file store: one Node per compute
+// node, a current Snapshot published atomically, and a single-writer
+// transaction log of epochs.
+type Store struct {
+	writeMu sync.Mutex // serializes Begin..Commit writer critical sections
+	cur     atomic.Pointer[Snapshot]
+	handles []*Node
+}
+
+// NewStore creates a store with n empty nodes at version 0.
 func NewStore(n int) *Store {
 	if n <= 0 {
 		panic("dstore: store needs at least one node")
 	}
-	s := &Store{nodes: make([]*Node, n)}
-	for i := range s.nodes {
-		s.nodes[i] = &Node{ID: i, files: make(map[string]*File)}
+	s := &Store{handles: make([]*Node, n)}
+	snap := &Snapshot{nodes: make([]map[string]*File, n)}
+	for i := range s.handles {
+		s.handles[i] = &Node{ID: i, store: s}
+		snap.nodes[i] = make(map[string]*File)
 	}
+	s.cur.Store(snap)
 	return s
 }
 
 // N reports the number of nodes.
-func (s *Store) N() int { return len(s.nodes) }
+func (s *Store) N() int { return len(s.handles) }
 
-// Node returns node i.
-func (s *Store) Node(i int) *Node { return s.nodes[i] }
+// Node returns the live handle for node i.
+func (s *Store) Node(i int) *Node { return s.handles[i] }
 
-// TotalRows reports the number of rows across all nodes (replicas
-// counted separately).
-func (s *Store) TotalRows() int {
-	t := 0
-	for _, n := range s.nodes {
-		t += n.Rows()
+// Current pins the latest published snapshot (one atomic load).
+func (s *Store) Current() *Snapshot { return s.cur.Load() }
+
+// Version is the current snapshot's epoch number.
+func (s *Store) Version() uint64 { return s.Current().version }
+
+// TotalRows reports the number of rows across all nodes in the current
+// snapshot (replicas counted separately).
+func (s *Store) TotalRows() int { return s.Current().TotalRows() }
+
+// fileMut buffers one file's pending mutations within a Tx.
+type fileMut struct {
+	schema  []string
+	appends []Row
+	deletes []Row // rows to remove, matched by value
+	drop    bool  // remove the whole file (before applying appends)
+}
+
+// Tx is a write transaction: it buffers appends and deletes across any
+// number of nodes and files, then Commit builds epoch N+1 by rewriting
+// only the touched files and publishes it atomically. A Tx holds the
+// store's writer lock from Begin until Commit or Abort; readers are
+// never blocked — they keep their pinned snapshots.
+type Tx struct {
+	s    *Store
+	base *Snapshot
+	muts map[int]map[string]*fileMut
+	done bool
+}
+
+// Begin starts a write transaction against the current snapshot,
+// blocking until any in-flight writer commits or aborts. Every Begin
+// must be paired with Commit or Abort.
+func (s *Store) Begin() *Tx {
+	s.writeMu.Lock()
+	return &Tx{s: s, base: s.cur.Load(), muts: make(map[int]map[string]*fileMut)}
+}
+
+// mut returns (creating if needed) the buffered mutation of a file.
+func (tx *Tx) mut(node int, name string) *fileMut {
+	if node < 0 || node >= tx.s.N() {
+		panic(fmt.Sprintf("dstore: tx touches node %d of %d", node, tx.s.N()))
 	}
-	return t
+	nm := tx.muts[node]
+	if nm == nil {
+		nm = make(map[string]*fileMut)
+		tx.muts[node] = nm
+	}
+	m := nm[name]
+	if m == nil {
+		m = &fileMut{}
+		nm[name] = m
+	}
+	return m
+}
+
+// Append buffers rows for the named file on a node, creating the file
+// (with the given schema) at commit if it does not exist. It panics on
+// a schema-width mismatch with the base file or earlier buffered
+// appends, which would indicate a partitioning bug.
+func (tx *Tx) Append(node int, name string, schema []string, rows ...Row) {
+	m := tx.mut(node, name)
+	base := tx.baseSchema(node, name, m)
+	if base != nil && len(base) != len(schema) {
+		panic(fmt.Sprintf("dstore: file %q schema mismatch: %v vs %v", name, base, schema))
+	}
+	if m.schema == nil {
+		m.schema = schema
+	}
+	m.appends = append(m.appends, rows...)
+}
+
+// baseSchema resolves the schema a buffered mutation must agree with:
+// earlier buffered appends win, else the base snapshot's file (unless
+// the file is being dropped).
+func (tx *Tx) baseSchema(node int, name string, m *fileMut) []string {
+	if m.schema != nil {
+		return m.schema
+	}
+	if m.drop {
+		return nil
+	}
+	if f, ok := tx.base.Node(node).Get(name); ok {
+		return f.Schema
+	}
+	return nil
+}
+
+// DeleteRow buffers the removal of one row (matched by value) from the
+// named file on a node. The row may come from the base snapshot or
+// from an earlier Append in this same transaction (the pair nets out);
+// Commit panics if it is neither — the caller deleting a triple that
+// was never stored indicates a partitioning bug.
+func (tx *Tx) DeleteRow(node int, name string, row Row) {
+	m := tx.mut(node, name)
+	m.deletes = append(m.deletes, row)
+}
+
+// DeleteFile buffers the removal of the whole named file on a node.
+// Appends buffered after the drop recreate it.
+func (tx *Tx) DeleteFile(node int, name string) {
+	m := tx.mut(node, name)
+	*m = fileMut{drop: true}
+}
+
+// Abort discards the transaction and releases the writer lock. Aborting
+// after Commit is a no-op, so `defer tx.Abort()` is a safe pattern.
+func (tx *Tx) Abort() {
+	if tx.done {
+		return
+	}
+	tx.done = true
+	tx.s.writeMu.Unlock()
+}
+
+// Commit materializes the buffered mutations as epoch base+1: touched
+// files are rewritten (copy-on-write; untouched files are shared by
+// pointer), secondary indexes are derived incrementally from the
+// predecessors', and the new snapshot is published atomically. It
+// returns the published snapshot and releases the writer lock.
+func (tx *Tx) Commit() *Snapshot {
+	if tx.done {
+		panic("dstore: commit on a finished tx")
+	}
+	next := &Snapshot{
+		version: tx.base.version + 1,
+		nodes:   make([]map[string]*File, len(tx.base.nodes)),
+	}
+	copy(next.nodes, tx.base.nodes)
+	for node, nm := range tx.muts {
+		files := make(map[string]*File, len(tx.base.nodes[node])+len(nm))
+		for k, v := range tx.base.nodes[node] {
+			files[k] = v
+		}
+		// Apply in sorted file order for reproducible panics.
+		names := make([]string, 0, len(nm))
+		for name := range nm {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			m := nm[name]
+			old := files[name]
+			if m.drop {
+				old = nil
+			}
+			nf := applyMut(old, name, m)
+			if nf == nil {
+				delete(files, name)
+			} else {
+				files[name] = nf
+			}
+		}
+		next.nodes[node] = files
+	}
+	tx.s.cur.Store(next)
+	tx.done = true
+	tx.s.writeMu.Unlock()
+	return next
+}
+
+// rowKey encodes a row's cells as a comparable map key.
+func rowKey(r Row) string {
+	b := make([]byte, 4*len(r))
+	for i, v := range r {
+		binary.LittleEndian.PutUint32(b[4*i:], uint32(v))
+	}
+	return string(b)
+}
+
+// applyMut builds the successor of old under mutation m, or nil when
+// the file ends (or stays) empty after deletions. Deletes resolve
+// against the base rows first, then against rows appended earlier in
+// the same transaction (append+delete of one row in one Tx nets out);
+// a delete that matches neither panics. The successor's secondary
+// indexes are derived incrementally from old's built ones: append-only
+// successors clone the column maps and extend the touched keys;
+// deleting successors remap surviving row ids in one pass.
+func applyMut(old *File, name string, m *fileMut) *File {
+	hadDeletes := len(m.deletes) > 0
+	var want map[string]int
+	if hadDeletes {
+		want = make(map[string]int, len(m.deletes))
+		for _, r := range m.deletes {
+			want[rowKey(r)]++
+		}
+	}
+
+	// Resolve deletions against the base rows: remap[i] is the
+	// surviving row's id in the successor (-1 = deleted).
+	var remap []int32
+	kept := 0
+	if old != nil {
+		kept = len(old.Rows)
+		if hadDeletes {
+			remap = make([]int32, len(old.Rows))
+			next := int32(0)
+			for i, r := range old.Rows {
+				if k := rowKey(r); want[k] > 0 {
+					want[k]--
+					remap[i] = -1
+					continue
+				}
+				remap[i] = next
+				next++
+			}
+			kept = int(next)
+		}
+	}
+	appends := m.appends
+	if hadDeletes {
+		left := 0
+		for _, c := range want {
+			left += c
+		}
+		if left > 0 { // leftover deletes consume same-tx appends
+			filtered := make([]Row, 0, len(appends))
+			for _, r := range appends {
+				if k := rowKey(r); want[k] > 0 {
+					want[k]--
+					continue
+				}
+				filtered = append(filtered, r)
+			}
+			appends = filtered
+		}
+		for _, c := range want {
+			if c > 0 {
+				panic(fmt.Sprintf("dstore: delete of absent row from file %q", name))
+			}
+		}
+	}
+
+	if old == nil {
+		if m.schema == nil { // drop of a file that never existed
+			return nil
+		}
+		if len(appends) == 0 && hadDeletes {
+			return nil // netted out before it ever existed
+		}
+		return &File{Name: name, Schema: m.schema, Rows: append([]Row(nil), appends...)}
+	}
+	if kept == 0 && len(appends) == 0 && hadDeletes {
+		return nil // emptied files disappear, like never-loaded ones
+	}
+
+	rows := make([]Row, 0, kept+len(appends))
+	if remap == nil {
+		rows = append(rows, old.Rows...)
+	} else {
+		for i, r := range old.Rows {
+			if remap[i] >= 0 {
+				rows = append(rows, r)
+			}
+		}
+	}
+	rows = append(rows, appends...)
+	nf := &File{Name: name, Schema: old.Schema, Rows: rows}
+	if ix := old.idx.Load(); ix != nil {
+		nf.idx.Store(deriveIndex(ix, remap, kept, appends))
+	}
+	return nf
+}
+
+// deriveIndex carries a predecessor file's built column indexes into
+// its successor. Without deletions the column maps are cloned sharing
+// their id slices (appended ids extend only the clone's slice headers);
+// with deletions surviving ids are remapped through remap in one pass
+// over the index — either way the successor starts with every
+// previously built column warm instead of rebuilding from its rows.
+func deriveIndex(old *fileIndex, remap []int32, kept int, appends []Row) *fileIndex {
+	nix := &fileIndex{cols: make([]map[rdf.TermID][]int32, len(old.cols))}
+	for c, om := range old.cols {
+		if om == nil {
+			continue
+		}
+		var nm map[rdf.TermID][]int32
+		if remap == nil {
+			nm = make(map[rdf.TermID][]int32, len(om))
+			for k, ids := range om {
+				nm[k] = ids
+			}
+		} else {
+			nm = make(map[rdf.TermID][]int32, len(om))
+			for k, ids := range om {
+				var out []int32
+				for _, id := range ids {
+					if ni := remap[id]; ni >= 0 {
+						out = append(out, ni)
+					}
+				}
+				if out != nil {
+					nm[k] = out
+				}
+			}
+		}
+		for i, r := range appends {
+			k := r[c]
+			nm[k] = append(nm[k], int32(kept+i))
+		}
+		nix.cols[c] = nm
+	}
+	return nix
 }

@@ -12,6 +12,9 @@ func TestStoreBasics(t *testing.T) {
 	if s.N() != 3 {
 		t.Fatalf("N = %d, want 3", s.N())
 	}
+	if s.Version() != 0 {
+		t.Fatalf("fresh store at version %d, want 0", s.Version())
+	}
 	n0 := s.Node(0)
 	n0.Append("f1", []string{"s", "p", "o"}, Row{1, 2, 3}, Row{4, 5, 6})
 	n0.Append("f1", []string{"s", "p", "o"}, Row{7, 8, 9})
@@ -34,6 +37,9 @@ func TestStoreBasics(t *testing.T) {
 	if _, ok := n0.Get("f0"); ok {
 		t.Error("file survived Delete")
 	}
+	if s.Version() != 4 {
+		t.Errorf("version = %d after 4 one-shot txs, want 4", s.Version())
+	}
 }
 
 func TestSchemaMismatchPanics(t *testing.T) {
@@ -44,6 +50,8 @@ func TestSchemaMismatchPanics(t *testing.T) {
 		if recover() == nil {
 			t.Error("schema mismatch did not panic")
 		}
+		// The aborted one-shot tx must have released the writer lock.
+		n.Append("g", []string{"a"}, Row{1})
 	}()
 	n.Append("f", []string{"a"}, Row{1})
 }
@@ -72,11 +80,213 @@ func TestLookup(t *testing.T) {
 	if got := f.Lookup(2, 999); got != nil {
 		t.Errorf("Lookup(o,999) = %v, want nil", got)
 	}
-	// Append invalidates the index: new rows must be visible.
+	// A File is a snapshot: appending publishes a successor file while
+	// the held one (rows and index) stays frozen.
 	n.Append("f", []string{"s", "p", "o"}, Row{1, 30, 300})
-	if got := f.Lookup(0, 1); len(got) != 3 {
-		t.Errorf("Lookup(s,1) after append = %v, want 3 row ids", got)
+	if got := f.Lookup(0, 1); len(got) != 2 {
+		t.Errorf("pinned file's Lookup(s,1) = %v, want the 2 pre-append ids", got)
 	}
+	f2, _ := n.Get("f")
+	if got := f2.Lookup(0, 1); len(got) != 3 {
+		t.Errorf("Lookup(s,1) after re-Get = %v, want 3 row ids", got)
+	}
+}
+
+// TestIndexDerivedAcrossEpochs pins the incremental index maintenance:
+// a successor file of an indexed file starts with the index already
+// built (derived), for both append-only and deleting commits, and the
+// derived ids are correct.
+func TestIndexDerivedAcrossEpochs(t *testing.T) {
+	s := NewStore(1)
+	n := s.Node(0)
+	n.Append("f", []string{"s", "p", "o"},
+		Row{1, 10, 100}, Row{2, 10, 200}, Row{1, 20, 100}, Row{3, 20, 300})
+	f1, _ := n.Get("f")
+	f1.Lookup(0, 1) // build column 0
+
+	// Append-only successor: derived, not rebuilt.
+	n.Append("f", []string{"s", "p", "o"}, Row{1, 30, 300})
+	f2, _ := n.Get("f")
+	if f2.idx.Load() == nil || f2.idx.Load().cols[0] == nil {
+		t.Fatal("append successor did not inherit the built column index")
+	}
+	if got := f2.Lookup(0, 1); len(got) != 3 || got[0] != 0 || got[1] != 2 || got[2] != 4 {
+		t.Errorf("derived Lookup(s,1) = %v, want [0 2 4]", got)
+	}
+
+	// Deleting successor: ids remapped past the removed row.
+	tx := s.Begin()
+	tx.DeleteRow(0, "f", Row{2, 10, 200})
+	tx.Commit()
+	f3, _ := n.Get("f")
+	if f3.idx.Load() == nil || f3.idx.Load().cols[0] == nil {
+		t.Fatal("deleting successor did not inherit the built column index")
+	}
+	if got := f3.Lookup(0, 1); len(got) != 3 || got[0] != 0 || got[1] != 1 || got[2] != 3 {
+		t.Errorf("remapped Lookup(s,1) = %v, want [0 1 3]", got)
+	}
+	if got := f3.Lookup(0, 2); got != nil {
+		t.Errorf("Lookup of deleted row's key = %v, want nil", got)
+	}
+	for _, id := range f3.Lookup(0, 3) {
+		if f3.Rows[id][0] != 3 {
+			t.Errorf("remapped id %d points at row %v", id, f3.Rows[id])
+		}
+	}
+}
+
+// TestSnapshotIsolation pins the visibility rules: a pinned Snapshot
+// never changes while later transactions commit, and a commit is only
+// visible through snapshots pinned after it.
+func TestSnapshotIsolation(t *testing.T) {
+	s := NewStore(2)
+	tx := s.Begin()
+	tx.Append(0, "a", []string{"x"}, Row{1}, Row{2})
+	tx.Append(1, "b", []string{"x"}, Row{3})
+	tx.Commit()
+
+	pinned := s.Current()
+	if pinned.Version() != 1 || pinned.TotalRows() != 3 {
+		t.Fatalf("pinned snapshot: version %d rows %d", pinned.Version(), pinned.TotalRows())
+	}
+	pf, _ := pinned.Node(0).Get("a")
+
+	tx = s.Begin()
+	tx.Append(0, "a", []string{"x"}, Row{4})
+	tx.DeleteRow(1, "b", Row{3})
+	tx.Commit()
+
+	// The pinned epoch is frozen: same files, same rows, same lookups.
+	if pinned.TotalRows() != 3 {
+		t.Errorf("pinned snapshot changed: %d rows", pinned.TotalRows())
+	}
+	if f, _ := pinned.Node(0).Get("a"); f != pf || len(f.Rows) != 2 {
+		t.Error("pinned file identity or rows changed under a later commit")
+	}
+	if _, ok := pinned.Node(1).Get("b"); !ok {
+		t.Error("pinned snapshot lost a file deleted in a later epoch")
+	}
+	// The new epoch sees the full batch: the emptied file is gone.
+	cur := s.Current()
+	if cur.Version() != 2 {
+		t.Errorf("current version = %d, want 2", cur.Version())
+	}
+	if f, _ := cur.Node(0).Get("a"); len(f.Rows) != 3 {
+		t.Errorf("current epoch rows = %d, want 3", len(f.Rows))
+	}
+	if _, ok := cur.Node(1).Get("b"); ok {
+		t.Error("emptied file survived in the new epoch")
+	}
+}
+
+// TestConcurrentAppendDeleteLookup interleaves committing writers with
+// lock-free readers under -race: every reader pins a snapshot, and all
+// invariants are checked against that pin (complete epochs only).
+func TestConcurrentAppendDeleteLookup(t *testing.T) {
+	s := NewStore(2)
+	const batches = 50
+	// Each batch atomically appends one row to BOTH files (on different
+	// nodes); readers must never observe the files out of step.
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < batches; i++ {
+			tx := s.Begin()
+			tx.Append(0, "left", []string{"s", "v"}, Row{rdf.TermID(i%5 + 1), rdf.TermID(i + 1)})
+			tx.Append(1, "right", []string{"s", "v"}, Row{rdf.TermID(i%5 + 1), rdf.TermID(i + 1)})
+			tx.Commit()
+		}
+	}()
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				snap := s.Current()
+				lf, lok := snap.Node(0).Get("left")
+				rf, rok := snap.Node(1).Get("right")
+				if lok != rok {
+					t.Errorf("torn epoch: left=%v right=%v at version %d", lok, rok, snap.Version())
+					return
+				}
+				if !lok {
+					continue
+				}
+				if len(lf.Rows) != len(rf.Rows) {
+					t.Errorf("torn epoch: %d left rows vs %d right rows at version %d",
+						len(lf.Rows), len(rf.Rows), snap.Version())
+					return
+				}
+				// Lock-free indexed lookups stay consistent with the
+				// pinned file's rows.
+				key := rdf.TermID(r%5 + 1)
+				for _, id := range lf.Lookup(0, key) {
+					if lf.Rows[id][0] != key {
+						t.Errorf("Lookup(0,%d) returned row %v", key, lf.Rows[id])
+						return
+					}
+				}
+			}
+		}(r)
+	}
+	wg.Wait()
+	lf, _ := s.Current().Node(0).Get("left")
+	if len(lf.Rows) != batches {
+		t.Errorf("final left rows = %d, want %d", len(lf.Rows), batches)
+	}
+}
+
+// TestConcurrentDeleteVisibility runs a writer that alternately deletes
+// and re-inserts a fixed row set while readers verify, per pinned
+// snapshot, that the row count is one of the two legal epoch states.
+func TestConcurrentDeleteVisibility(t *testing.T) {
+	s := NewStore(1)
+	base := []Row{{1, 1, 1}, {2, 2, 2}, {3, 3, 3}}
+	s.Node(0).Append("f", []string{"s", "p", "o"}, base...)
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 40; i++ {
+			tx := s.Begin()
+			if i%2 == 0 {
+				for _, r := range base {
+					tx.DeleteRow(0, "f", r)
+				}
+			} else {
+				tx.Append(0, "f", []string{"s", "p", "o"}, base...)
+			}
+			tx.Commit()
+		}
+	}()
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				snap := s.Current()
+				f, ok := snap.Node(0).Get("f")
+				n := 0
+				if ok {
+					n = len(f.Rows)
+				}
+				if n != 0 && n != len(base) {
+					t.Errorf("torn delete batch: %d rows at version %d", n, snap.Version())
+					return
+				}
+				if ok {
+					for _, id := range f.Lookup(1, 2) {
+						if f.Rows[id][1] != 2 {
+							t.Errorf("index/row mismatch at version %d", snap.Version())
+							return
+						}
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
 }
 
 func TestConcurrentLookup(t *testing.T) {
@@ -112,11 +322,46 @@ func TestConcurrentLookup(t *testing.T) {
 	wg.Wait()
 }
 
+func TestDeleteAbsentRowPanics(t *testing.T) {
+	s := NewStore(1)
+	s.Node(0).Append("f", []string{"x"}, Row{1})
+	tx := s.Begin()
+	defer tx.Abort()
+	tx.DeleteRow(0, "f", Row{99})
+	defer func() {
+		if recover() == nil {
+			t.Error("delete of an absent row did not panic at commit")
+		}
+	}()
+	tx.Commit()
+}
+
 func TestRowClone(t *testing.T) {
 	r := Row{1, 2, 3}
 	c := r.Clone()
 	c[0] = 99
 	if r[0] != 1 {
 		t.Error("Clone aliases the original")
+	}
+}
+
+// TestTxAppendThenDeleteNetsOut pins the same-transaction semantics:
+// a row appended and deleted within one Tx never becomes visible, for
+// both existing and brand-new files.
+func TestTxAppendThenDeleteNetsOut(t *testing.T) {
+	s := NewStore(1)
+	s.Node(0).Append("f", []string{"x"}, Row{1})
+	tx := s.Begin()
+	tx.Append(0, "f", []string{"x"}, Row{2})
+	tx.DeleteRow(0, "f", Row{2})
+	tx.Append(0, "g", []string{"x"}, Row{3})
+	tx.DeleteRow(0, "g", Row{3})
+	tx.Commit()
+	f, _ := s.Node(0).Get("f")
+	if len(f.Rows) != 1 || f.Rows[0][0] != 1 {
+		t.Errorf("f rows = %v, want just the base row", f.Rows)
+	}
+	if _, ok := s.Node(0).Get("g"); ok {
+		t.Error("fully netted-out new file exists")
 	}
 }

@@ -12,11 +12,21 @@
 //
 // This makes every first-level join — on any of s, p, o — evaluable
 // locally on each node (parallelizable without communication).
+//
+// Beyond the paper's load-once setting, the partitioner is mutable:
+// ApplyBatch re-derives the three-replica placement for a delta of
+// inserted and deleted triples only, commits it as one dstore epoch,
+// and publishes a new View. A View pins a store snapshot together with
+// the matching placement metadata (known properties, rdf:type class
+// splits), so queries executing against a pinned View see one
+// consistent epoch end to end while batches land concurrently.
 package partition
 
 import (
 	"fmt"
 	"sort"
+	"sync"
+	"sync/atomic"
 
 	"cliquesquare/internal/dstore"
 	"cliquesquare/internal/rdf"
@@ -48,19 +58,34 @@ func (m Mode) String() string {
 	return "three-replica"
 }
 
-// Partitioner places an RDF graph onto a store and resolves triple
-// patterns to the partition files a scan must read.
+// Partitioner places an RDF graph onto a store, keeps the placement
+// maintained under insert/delete batches, and resolves triple patterns
+// to the partition files a scan must read. All methods are safe for
+// concurrent use: reads resolve against an immutable published View,
+// writes (ApplyBatch) are serialized and publish atomically.
 type Partitioner struct {
 	store *dstore.Store
 	mode  Mode
-	// typeID is the dictionary ID of rdf:type in the loaded graph
-	// (NoTerm if absent).
+
+	writeMu sync.Mutex
+	cur     atomic.Pointer[View]
+}
+
+// View is one published epoch of the partitioned dataset: a dstore
+// snapshot plus the placement metadata that was true for it. A pinned
+// View never changes; file resolution and scans through it observe one
+// consistent epoch.
+type View struct {
+	p    *Partitioner
+	snap *dstore.Snapshot
+	// typeID is the dictionary ID of rdf:type (NoTerm if absent when
+	// the view was published).
 	typeID rdf.TermID
-	// properties records every property ID seen, for variable-property
-	// scans.
-	properties map[rdf.TermID]bool
-	// typeObjects records every object ID seen with rdf:type.
-	typeObjects map[rdf.TermID]bool
+	// properties counts the stored triples per property ID, for
+	// variable-property scans and empty-property cleanup.
+	properties map[rdf.TermID]int
+	// typeObjects counts the rdf:type triples per object (class) ID.
+	typeObjects map[rdf.TermID]int
 }
 
 // Load partitions g across the store's nodes with the paper's
@@ -70,35 +95,110 @@ func Load(store *dstore.Store, g *rdf.Graph) *Partitioner {
 	return LoadWithMode(store, g, ThreeReplica)
 }
 
-// LoadWithMode partitions g with the chosen replication scheme.
+// LoadWithMode partitions g with the chosen replication scheme, as one
+// committed store epoch.
 func LoadWithMode(store *dstore.Store, g *rdf.Graph, mode Mode) *Partitioner {
-	p := &Partitioner{
-		store:       store,
-		mode:        mode,
-		properties:  make(map[rdf.TermID]bool),
-		typeObjects: make(map[rdf.TermID]bool),
+	p := &Partitioner{store: store, mode: mode}
+	v := &View{
+		p:           p,
+		properties:  make(map[rdf.TermID]int),
+		typeObjects: make(map[rdf.TermID]int),
 	}
 	if id, ok := g.Dict.Lookup(rdf.NewIRI(sparql.RDFType)); ok {
-		p.typeID = id
+		v.typeID = id
 	}
-	n := store.N()
-	for _, t := range g.Triples() {
+	tx := store.Begin()
+	defer tx.Abort()
+	placeBatch(tx, v, g.Triples(), mode)
+	v.snap = tx.Commit()
+	p.cur.Store(v)
+	return p
+}
+
+// placeBatch appends every triple's replicas into tx and maintains the
+// view's placement counters, mirroring the Section 5.1 layout.
+func placeBatch(tx *dstore.Tx, v *View, triples []rdf.Triple, mode Mode) {
+	n := v.p.store.N()
+	for _, t := range triples {
 		row := dstore.Row{t.S, t.P, t.O}
-		p.properties[t.P] = true
-		store.Node(hash(t.S)%n).Append(FileName(rdf.SPos, t.P, 0), TripleSchema, row)
+		v.properties[t.P]++
+		tx.Append(NodeFor(t.S, n), FileName(rdf.SPos, t.P, 0), TripleSchema, row)
 		if mode == SubjectOnly {
 			continue
 		}
-		store.Node(hash(t.O)%n).Append(FileName(rdf.OPos, t.P, 0), TripleSchema, row)
-		if p.typeID != rdf.NoTerm && t.P == p.typeID {
-			p.typeObjects[t.O] = true
-			store.Node(hash(t.P)%n).Append(FileName(rdf.PPos, t.P, t.O), TripleSchema, row)
+		tx.Append(NodeFor(t.O, n), FileName(rdf.OPos, t.P, 0), TripleSchema, row)
+		if v.typeID != rdf.NoTerm && t.P == v.typeID {
+			v.typeObjects[t.O]++
+			tx.Append(NodeFor(t.P, n), FileName(rdf.PPos, t.P, t.O), TripleSchema, row)
 		} else {
-			store.Node(hash(t.P)%n).Append(FileName(rdf.PPos, t.P, 0), TripleSchema, row)
+			tx.Append(NodeFor(t.P, n), FileName(rdf.PPos, t.P, 0), TripleSchema, row)
 		}
 	}
-	return p
 }
+
+// ApplyBatch re-derives the three-replica placement for a delta only:
+// deletes are removed from each replica file they were placed in, then
+// inserts are placed exactly as a full load would place them (including
+// creating files for new properties and new rdf:type class splits, and
+// dropping files and counters that end empty). The whole batch commits
+// as one dstore epoch; the returned View pins it with the updated
+// metadata. Callers must pass effective deltas: every delete was
+// stored, no insert already is (the csq engine's ApplyBatch filters
+// against the graph). dict resolves rdf:type on its first appearance.
+func (p *Partitioner) ApplyBatch(inserts, deletes []rdf.Triple, dict *rdf.Dict) *View {
+	p.writeMu.Lock()
+	defer p.writeMu.Unlock()
+	old := p.cur.Load()
+	v := &View{
+		p:           p,
+		typeID:      old.typeID,
+		properties:  make(map[rdf.TermID]int, len(old.properties)),
+		typeObjects: make(map[rdf.TermID]int, len(old.typeObjects)),
+	}
+	for k, c := range old.properties {
+		v.properties[k] = c
+	}
+	for k, c := range old.typeObjects {
+		v.typeObjects[k] = c
+	}
+	if v.typeID == rdf.NoTerm {
+		// rdf:type may enter the dictionary with this batch's inserts;
+		// no earlier triple can have used it as a property.
+		if id, ok := dict.Lookup(rdf.NewIRI(sparql.RDFType)); ok {
+			v.typeID = id
+		}
+	}
+
+	n := p.store.N()
+	tx := p.store.Begin()
+	defer tx.Abort()
+	for _, t := range deletes {
+		row := dstore.Row{t.S, t.P, t.O}
+		if v.properties[t.P]--; v.properties[t.P] <= 0 {
+			delete(v.properties, t.P)
+		}
+		tx.DeleteRow(NodeFor(t.S, n), FileName(rdf.SPos, t.P, 0), row)
+		if p.mode == SubjectOnly {
+			continue
+		}
+		tx.DeleteRow(NodeFor(t.O, n), FileName(rdf.OPos, t.P, 0), row)
+		if v.typeID != rdf.NoTerm && t.P == v.typeID {
+			if v.typeObjects[t.O]--; v.typeObjects[t.O] <= 0 {
+				delete(v.typeObjects, t.O)
+			}
+			tx.DeleteRow(NodeFor(t.P, n), FileName(rdf.PPos, t.P, t.O), row)
+		} else {
+			tx.DeleteRow(NodeFor(t.P, n), FileName(rdf.PPos, t.P, 0), row)
+		}
+	}
+	placeBatch(tx, v, inserts, p.mode)
+	v.snap = tx.Commit()
+	p.cur.Store(v)
+	return v
+}
+
+// Current pins the latest published view (one atomic load).
+func (p *Partitioner) Current() *View { return p.cur.Load() }
 
 // Mode reports the replication scheme in use.
 func (p *Partitioner) Mode() Mode { return p.mode }
@@ -126,22 +226,38 @@ func FileName(pos rdf.Pos, prop rdf.TermID, typeObj rdf.TermID) string {
 // Store returns the underlying file store.
 func (p *Partitioner) Store() *dstore.Store { return p.store }
 
-// TypeID returns the dictionary ID of rdf:type (NoTerm if unseen).
-func (p *Partitioner) TypeID() rdf.TermID { return p.typeID }
+// TypeID returns the dictionary ID of rdf:type as of the current view
+// (NoTerm if unseen).
+func (p *Partitioner) TypeID() rdf.TermID { return p.cur.Load().typeID }
+
+// Files resolves scan files against the current view; executions that
+// must stay on one epoch should pin a View and resolve through it.
+func (p *Partitioner) Files(tp sparql.TriplePattern, pos rdf.Pos, dict *rdf.Dict) []string {
+	return p.cur.Load().Files(tp, pos, dict)
+}
+
+// Version is the view's epoch number (the dstore snapshot version).
+func (v *View) Version() uint64 { return v.snap.Version() }
+
+// Snap returns the pinned dstore snapshot.
+func (v *View) Snap() *dstore.Snapshot { return v.snap }
+
+// Node returns node i's file read view within the pinned epoch.
+func (v *View) Node(i int) dstore.NodeView { return v.snap.Node(i) }
 
 // Files resolves the files a scan of pattern tp must read when placed
-// in the replica partitioned on position pos. Patterns with a constant
-// property read that property's file; variable-property patterns read
-// every property file of the partition. In the property partition,
-// rdf:type patterns with a constant object read only that class's
-// split file.
-func (p *Partitioner) Files(tp sparql.TriplePattern, pos rdf.Pos, dict *rdf.Dict) []string {
+// in the replica partitioned on position pos, within this view's epoch.
+// Patterns with a constant property read that property's file; variable
+// -property patterns read every property file of the partition. In the
+// property partition, rdf:type patterns with a constant object read
+// only that class's split file.
+func (v *View) Files(tp sparql.TriplePattern, pos rdf.Pos, dict *rdf.Dict) []string {
 	if !tp.P.IsVar {
 		prop, ok := dict.Lookup(tp.P.Term)
 		if !ok {
 			return nil // property absent from the data: empty scan
 		}
-		if pos == rdf.PPos && prop == p.typeID && p.typeID != rdf.NoTerm {
+		if pos == rdf.PPos && prop == v.typeID && v.typeID != rdf.NoTerm {
 			if !tp.O.IsVar {
 				obj, ok := dict.Lookup(tp.O.Term)
 				if !ok {
@@ -149,8 +265,8 @@ func (p *Partitioner) Files(tp sparql.TriplePattern, pos rdf.Pos, dict *rdf.Dict
 				}
 				return []string{FileName(pos, prop, obj)}
 			}
-			out := make([]string, 0, len(p.typeObjects))
-			for o := range p.typeObjects {
+			out := make([]string, 0, len(v.typeObjects))
+			for o := range v.typeObjects {
 				out = append(out, FileName(pos, prop, o))
 			}
 			sort.Strings(out)
@@ -161,10 +277,10 @@ func (p *Partitioner) Files(tp sparql.TriplePattern, pos rdf.Pos, dict *rdf.Dict
 	// Variable property: read the whole partition. Sorted so scans
 	// visit files (and meter their work) in a reproducible order.
 	var out []string
-	for prop := range p.properties {
-		if pos == rdf.PPos && prop == p.typeID && p.typeID != rdf.NoTerm {
-			for o := range p.typeObjects {
-				out = append(out, FileName(pos, prop, o))
+	for prop := range v.properties {
+		if pos == rdf.PPos && prop == v.typeID && v.typeID != rdf.NoTerm {
+			for o := range v.typeObjects {
+				out = append(out, FileName(rdf.PPos, prop, o))
 			}
 			continue
 		}

@@ -2,6 +2,7 @@ package partition
 
 import (
 	"fmt"
+	"reflect"
 	"testing"
 
 	"cliquesquare/internal/dstore"
@@ -147,5 +148,147 @@ func TestFileName(t *testing.T) {
 	}
 	if got := FileName(rdf.PPos, 42, 7); got != "p/p42/o7" {
 		t.Errorf("FileName = %q", got)
+	}
+}
+
+// storeState flattens a store's current snapshot to a comparable map:
+// node -> file name -> rows.
+func storeState(t *testing.T, s *dstore.Store) map[int]map[string][]dstore.Row {
+	t.Helper()
+	out := make(map[int]map[string][]dstore.Row)
+	snap := s.Current()
+	for i := 0; i < snap.N(); i++ {
+		nv := snap.Node(i)
+		files := make(map[string][]dstore.Row)
+		for _, name := range nv.Names() {
+			f, _ := nv.Get(name)
+			files[name] = f.Rows
+		}
+		out[i] = files
+	}
+	return out
+}
+
+// TestApplyBatchMatchesFreshLoad is the partition-layer equivalence
+// oracle: after a batch of deletes and inserts (including a new
+// property, a new rdf:type class, and removal of a whole class), the
+// incrementally maintained store is byte-identical — per node, per
+// file, per row — to a fresh three-replica load of the mutated graph,
+// and the placement metadata (Files resolution) agrees too.
+func TestApplyBatchMatchesFreshLoad(t *testing.T) {
+	for _, mode := range []Mode{ThreeReplica, SubjectOnly} {
+		g := sampleGraph()
+		store := dstore.NewStore(5)
+		p := LoadWithMode(store, g, mode)
+
+		// Deletes: one knows edge, and every member of Class2 (so the
+		// class split file and its counter must disappear).
+		var dels []rdf.Triple
+		typeID, _ := g.Dict.Lookup(rdf.NewIRI(sparql.RDFType))
+		class2, _ := g.Dict.Lookup(rdf.NewIRI("Class2"))
+		for _, tr := range g.Triples() {
+			if tr.P == typeID && tr.O == class2 {
+				dels = append(dels, tr)
+			}
+		}
+		knows, _ := g.Dict.Lookup(rdf.NewIRI("knows"))
+		for _, tr := range g.Triples() {
+			if tr.P == knows {
+				dels = append(dels, tr)
+				break
+			}
+		}
+		g.RemoveBatch(dels)
+
+		// Inserts: a brand-new property and a brand-new class.
+		ins := []rdf.Triple{
+			{S: g.Dict.EncodeIRI("s0"), P: g.Dict.EncodeIRI("worksAt"), O: g.Dict.EncodeIRI("org1")},
+			{S: g.Dict.EncodeIRI("s1"), P: typeID, O: g.Dict.EncodeIRI("Class9")},
+			{S: g.Dict.EncodeIRI("s2"), P: knows, O: g.Dict.EncodeIRI("s0")},
+		}
+		for _, tr := range ins {
+			g.Add(tr)
+		}
+		v := p.ApplyBatch(ins, dels, g.Dict)
+		if v.Version() != 2 {
+			t.Fatalf("%v: batch committed as version %d, want 2", mode, v.Version())
+		}
+
+		fresh := dstore.NewStore(5)
+		fp := LoadWithMode(fresh, g, mode)
+		got, want := storeState(t, store), storeState(t, fresh)
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("%v: incremental store diverges from fresh load:\n got %v\nwant %v", mode, got, want)
+		}
+
+		// File resolution must agree for constant-, type- and
+		// variable-property patterns.
+		qs := []string{
+			`SELECT ?a ?b WHERE { ?a <knows> ?b }`,
+			`SELECT ?a ?p ?b WHERE { ?a ?p ?b }`,
+			fmt.Sprintf(`SELECT ?a ?c WHERE { ?a <%s> ?c }`, sparql.RDFType),
+			fmt.Sprintf(`SELECT ?a WHERE { ?a <%s> <Class2> }`, sparql.RDFType),
+			`SELECT ?a ?b WHERE { ?a <worksAt> ?b }`,
+		}
+		for _, src := range qs {
+			tp := sparql.MustParse(src).Patterns[0]
+			for _, pos := range []rdf.Pos{rdf.SPos, rdf.PPos, rdf.OPos} {
+				if !reflect.DeepEqual(p.Files(tp, pos, g.Dict), fp.Files(tp, pos, g.Dict)) {
+					t.Errorf("%v: Files(%s, %s) = %v, fresh %v",
+						mode, src, pos, p.Files(tp, pos, g.Dict), fp.Files(tp, pos, g.Dict))
+				}
+			}
+		}
+	}
+}
+
+// TestViewPinsEpoch pins the partition-level snapshot rule: a View
+// obtained before a batch keeps resolving and reading the old epoch.
+func TestViewPinsEpoch(t *testing.T) {
+	g := sampleGraph()
+	store := dstore.NewStore(3)
+	p := Load(store, g)
+	old := p.Current()
+	tp := sparql.MustParse(`SELECT ?a ?b WHERE { ?a <knows> ?b }`).Patterns[0]
+	fname := old.Files(tp, rdf.SPos, g.Dict)[0]
+	oldRows := 0
+	for i := 0; i < store.N(); i++ {
+		if f, ok := old.Node(i).Get(fname); ok {
+			oldRows += len(f.Rows)
+		}
+	}
+
+	var dels []rdf.Triple
+	knows, _ := g.Dict.Lookup(rdf.NewIRI("knows"))
+	for _, tr := range g.Triples() {
+		if tr.P == knows {
+			dels = append(dels, tr)
+		}
+	}
+	g.RemoveBatch(dels)
+	p.ApplyBatch(nil, dels, g.Dict)
+
+	stillRows := 0
+	for i := 0; i < store.N(); i++ {
+		if f, ok := old.Node(i).Get(fname); ok {
+			stillRows += len(f.Rows)
+		}
+	}
+	if stillRows != oldRows || oldRows != 20 {
+		t.Errorf("pinned view rows = %d (was %d), want 20", stillRows, oldRows)
+	}
+	// The new view has neither the file nor the property.
+	cur := p.Current()
+	if files := cur.Files(tp, rdf.SPos, g.Dict); len(files) != 1 {
+		t.Fatalf("constant-property resolution should still name the file: %v", files)
+	}
+	for i := 0; i < store.N(); i++ {
+		if _, ok := cur.Node(i).Get(fname); ok {
+			t.Errorf("node %d still holds %s after all its triples were deleted", i, fname)
+		}
+	}
+	vq := sparql.MustParse(`SELECT ?a ?p ?b WHERE { ?a ?p ?b }`).Patterns[0]
+	if files := cur.Files(vq, rdf.SPos, g.Dict); len(files) != 1 {
+		t.Errorf("variable-property resolution after property removal = %v, want only rdf:type", files)
 	}
 }

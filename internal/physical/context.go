@@ -54,10 +54,67 @@ type arena struct {
 	slab     []rdf.TermID
 	emitCols []int // shuffle-key column indexes, hoisted per relation
 
+	// joinPlans memoizes the schema-derived part of naryJoin (output
+	// schema union, column sources, residual checks) keyed on the
+	// children's schema slice identities.
+	joinPlans []*joinPlan
+
 	// scan filter scratch (Executor.scan).
 	scanConsts  []constCheck
 	scanRepeats [][2]rdf.Pos
 	scanVarPos  []rdf.Pos
+}
+
+// joinPlan is the memoized schema-derived scaffolding of one join
+// shape. Child schema slices come from the immutable physical plan
+// (operator Attrs), so pointer identity implies content equality and
+// the derived slices can be shared by every join of that shape.
+type joinPlan struct {
+	schemas  [][]string // the children's schema slices (identity key)
+	schema   []string
+	srcChild []int
+	srcCol   []int
+	checks   []eqCheck
+}
+
+// joinPlanCap bounds the memo; reaching it resets the memo (shapes per
+// plan are few — the bound only guards pathological pooled reuse).
+const joinPlanCap = 64
+
+// sameSchema reports whether two schema slices are the same slice.
+func sameSchema(a, b []string) bool {
+	return len(a) == len(b) && (len(a) == 0 || &a[0] == &b[0])
+}
+
+// joinPlanFor returns the memoized join scaffolding for the children's
+// schema combination, computing and caching it on first sight.
+func (a *arena) joinPlanFor(children []relation) *joinPlan {
+outer:
+	for _, jp := range a.joinPlans {
+		if len(jp.schemas) != len(children) {
+			continue
+		}
+		for i := range children {
+			if !sameSchema(jp.schemas[i], children[i].schema) {
+				continue outer
+			}
+		}
+		return jp
+	}
+	jp := &joinPlan{
+		schemas: make([][]string, len(children)),
+		schema:  unionSchema(children),
+	}
+	for i := range children {
+		jp.schemas[i] = children[i].schema
+	}
+	jp.srcChild, jp.srcCol = columnSources(jp.schema, children)
+	jp.checks = residualChecks(jp.schema, children, jp.srcChild, jp.srcCol)
+	if len(a.joinPlans) >= joinPlanCap {
+		a.joinPlans = a.joinPlans[:0]
+	}
+	a.joinPlans = append(a.joinPlans, jp)
+	return jp
 }
 
 const slabChunk = 8192

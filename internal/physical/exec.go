@@ -27,6 +27,15 @@ type Executor struct {
 	// Ctx carries parallelism settings, the stats sink and the per-node
 	// arenas; nil means a fresh default context (full parallelism).
 	Ctx *ExecContext
+	// View, if non-nil, is the partition epoch the execution reads.
+	// When nil, Execute pins the partitioner's current view. Either
+	// way one whole execution observes a single epoch: concurrent
+	// update batches never become visible mid-query (snapshot
+	// isolation), and Result.DataVersion reports the epoch served.
+	View *partition.View
+
+	// view is the epoch pinned for the in-flight Execute call.
+	view *partition.View
 }
 
 // Result is the outcome of executing one physical plan.
@@ -41,6 +50,8 @@ type Result struct {
 	Time float64
 	// Work is the simulated total work across nodes.
 	Work float64
+	// DataVersion is the store epoch the execution was served from.
+	DataVersion uint64
 }
 
 // runJob executes one job on the cluster and forwards its stats to the
@@ -69,6 +80,12 @@ func (x *Executor) Execute(pp *Plan) (*Result, error) {
 	x.Ctx.ensureNodes(x.Cluster.N())
 	x.Cluster.Parallelism = x.Ctx.Parallelism
 	x.Cluster.Sequential = x.Ctx.Sequential
+	// Pin one partition epoch for the whole execution: every scan of
+	// every job reads this snapshot, whatever writers commit meanwhile.
+	x.view = x.View
+	if x.view == nil {
+		x.view = x.Part.Current()
+	}
 	jobsBefore := len(x.Cluster.Jobs)
 	workBefore := x.Cluster.TotalWork()
 	q := pp.Logical.Query
@@ -190,9 +207,10 @@ func (x *Executor) Execute(pp *Plan) (*Result, error) {
 	finalRows = dedupe(finalRows)
 	sortRows(finalRows)
 	res := &Result{
-		Schema: append([]string(nil), q.Select...),
-		Rows:   finalRows,
-		Work:   x.Cluster.TotalWork() - workBefore,
+		Schema:      append([]string(nil), q.Select...),
+		Rows:        finalRows,
+		Work:        x.Cluster.TotalWork() - workBefore,
+		DataVersion: x.view.Version(),
 	}
 	for _, js := range x.Cluster.Jobs[jobsBefore:] {
 		res.Jobs = append(res.Jobs, js)
@@ -284,7 +302,7 @@ func (x *Executor) scan(pp *Plan, op *core.Op, node int, m *mapreduce.Meter, coV
 	a.scanVarPos = varPos
 	a.scanRepeats = repeats
 
-	nd := x.Cluster.Store.Node(node)
+	nd := x.view.Node(node)
 	needCheck := len(consts) > 0 || len(repeats) > 0
 	emitRow := func(t rdf.Triple) bool {
 		for _, cc := range consts {
@@ -304,7 +322,7 @@ func (x *Executor) scan(pp *Plan, op *core.Op, node int, m *mapreduce.Meter, coV
 		rel.rows = append(rel.rows, outRow)
 		return true
 	}
-	for _, fname := range x.Part.Files(tp, pos, x.Dict) {
+	for _, fname := range x.view.Files(tp, pos, x.Dict) {
 		f, ok := nd.Get(fname)
 		if !ok {
 			continue

@@ -46,13 +46,17 @@ type joinCounts struct {
 // indexed in an arena-owned open-addressing joinTable keyed directly
 // on the rows' join cells (no per-row key string); the first child's
 // rows stream through, probing each table with one precomputed hash.
-// Output rows come from the arena's slab.
+// Output rows come from the arena's slab; the schema union, column
+// sources and residual checks come from the arena's join-plan memo
+// (they depend only on the child schemas, which repeat across the
+// thousands of per-group joins of one reduce phase).
 func (a *arena) naryJoin(children []relation, joinAttrs []string) (relation, joinCounts) {
 	var counts joinCounts
-	out := relation{schema: unionSchema(children)}
 	if len(children) == 0 {
-		return out, counts
+		return relation{schema: unionSchema(children)}, counts
 	}
+	jp := a.joinPlanFor(children)
+	out := relation{schema: jp.schema}
 	nc := len(children)
 	a.grow(nc)
 
@@ -65,9 +69,8 @@ func (a *arena) naryJoin(children []relation, joinAttrs []string) (relation, joi
 		a.tables[i].build(children[i].rows, a.colIdx[i])
 	}
 
-	// Prepare output column sources and residual equality checks.
-	srcChild, srcCol := columnSources(out.schema, children)
-	checks := residualChecks(out.schema, children, srcChild, srcCol)
+	srcChild, srcCol := jp.srcChild, jp.srcCol
+	checks := jp.checks
 
 	// Stream the first child: every row whose key is present in all
 	// other children produces the consistent combinations of the

@@ -3,11 +3,18 @@
 // CliqueSquare variant (MSC by default), plan selection with the
 // Section 5.4 cost model, translation to physical plans and execution
 // as MapReduce jobs on the simulator.
+//
+// Beyond the paper's load-once setting, the engine is mutable:
+// ApplyBatch applies insert/delete deltas to the graph and the
+// partitioned store as one snapshot epoch, while in-flight queries keep
+// reading their pinned epoch (snapshot isolation) and cached plans are
+// revalidated against the new cardinality statistics on their next use.
 package csq
 
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"cliquesquare/internal/core"
@@ -57,6 +64,16 @@ type Config struct {
 	// is approximate: sharding rounds it up to the next multiple of the
 	// shard count (see plancache.New).
 	PlanCacheSize int
+	// ReplanDriftThreshold tunes how plan-cache revalidation reacts to
+	// data updates. 0 (the default) re-runs cost-based plan choice over
+	// the retained candidate set whenever the data version moved, which
+	// keeps cached executions byte-identical to a freshly planned run.
+	// A positive value allows a cheaper check first: if the cached
+	// plan's modeled cost under the new statistics drifted by at most
+	// this relative fraction since it was last chosen, the plan is kept
+	// without re-choosing (results stay correct; only the plan choice
+	// may lag the statistics).
+	ReplanDriftThreshold float64
 }
 
 // DefaultConfig mirrors the paper's setup: 7 nodes, MSC.
@@ -72,22 +89,34 @@ func DefaultConfig() Config {
 }
 
 // Engine is a loaded CSQ instance. All of its entry points — Prepare,
-// PrepareCached, ExecutePrepared, Plan, ExecutePlan, Run — are safe for
-// concurrent use: planning reads only immutable engine state (graph,
-// dictionary, partitioner), execution draws per-call scratch from the
-// context pool, and the plan cache synchronizes itself.
+// PrepareCached, ExecutePrepared, Plan, ExecutePlan, Run, ApplyBatch —
+// are safe for concurrent use: planning reads a pinned data epoch plus
+// immutable engine state, execution draws per-call scratch from the
+// context pool, writes serialize on the engine's write lock and publish
+// new epochs atomically, and the plan cache synchronizes itself.
 type Engine struct {
 	cfg   Config
 	graph *rdf.Graph
 	store *dstore.Store
 	part  *partition.Partitioner
-	// cache maps canonical query fingerprints to prepared plans; nil
-	// when caching is disabled.
-	cache *plancache.Cache[*Prepared]
+	// cache maps canonical query fingerprints to versioned plan
+	// entries; nil when caching is disabled.
+	cache *plancache.Cache[*cacheEntry]
 	// ctxPool recycles ExecContexts (and their per-node scratch
 	// arenas) across plan executions; concurrent executions each get
 	// their own context.
 	ctxPool sync.Pool
+
+	// stateMu guards the graph+partitioner pair as one unit: ApplyBatch
+	// holds the write side across graph mutation and epoch commit, and
+	// statistics reads (plan, revalidate) hold the read side so they
+	// never observe a half-applied batch. Query execution does not take
+	// it — executions read pinned immutable snapshots.
+	stateMu sync.RWMutex
+	// batches / revalidations / replans count update activity.
+	batches       atomic.Uint64
+	revalidations atomic.Uint64
+	replans       atomic.Uint64
 }
 
 // New partitions g across the configured cluster and returns the
@@ -101,7 +130,7 @@ func New(g *rdf.Graph, cfg Config) *Engine {
 		part:  partition.LoadWithMode(store, g, cfg.Partitioning),
 	}
 	if cfg.PlanCacheSize >= 0 {
-		e.cache = plancache.New[*Prepared](cfg.PlanCacheSize)
+		e.cache = plancache.New[*cacheEntry](cfg.PlanCacheSize)
 	}
 	return e
 }
@@ -112,10 +141,105 @@ func (e *Engine) Name() string { return "CSQ" }
 // Graph returns the loaded dataset.
 func (e *Engine) Graph() *rdf.Graph { return e.graph }
 
-// Plan optimizes q and returns the cost-selected logical plan, its
-// physical compilation, and the optimizer result (for plan-space
-// statistics).
-func (e *Engine) Plan(q *sparql.Query) (*core.Plan, *physical.Plan, *core.Result, error) {
+// DataVersion is the current data epoch: 1 after the initial load,
+// incremented by every applied batch.
+func (e *Engine) DataVersion() uint64 { return e.part.Current().Version() }
+
+// BatchResult reports what an ApplyBatch call actually changed.
+type BatchResult struct {
+	// Inserted and Deleted count the effective delta: inserts already
+	// present and deletes of absent triples are no-ops.
+	Inserted, Deleted int
+	// DataVersion is the epoch the batch committed as.
+	DataVersion uint64
+}
+
+// ApplyBatch applies deletes then inserts to the dataset as one atomic
+// epoch: the graph, the partitioned store (three-replica delta
+// placement) and the placement metadata all move together, and queries
+// either see the whole batch or none of it. Duplicate inserts, inserts
+// of triples already present, and deletes of absent triples are
+// filtered to a no-op, so the result matches loading the mutated graph
+// from scratch; a batch whose effective delta is empty commits no epoch
+// (the returned DataVersion is the current one). Concurrent queries
+// keep executing against their pinned epochs; cached plans revalidate
+// lazily on next use.
+func (e *Engine) ApplyBatch(inserts, deletes []rdf.Triple) BatchResult {
+	e.stateMu.Lock()
+	defer e.stateMu.Unlock()
+	var dels []rdf.Triple
+	if len(deletes) > 0 {
+		seen := make(map[rdf.Triple]bool, len(deletes))
+		for _, t := range deletes {
+			if !seen[t] && e.graph.Contains(t) {
+				seen[t] = true
+				dels = append(dels, t)
+			}
+		}
+		e.graph.RemoveBatch(dels)
+	}
+	var ins []rdf.Triple
+	for _, t := range inserts {
+		if e.graph.Add(t) {
+			ins = append(ins, t)
+		}
+	}
+	if len(ins) == 0 && len(dels) == 0 {
+		// Nothing effectively changed: committing an epoch anyway would
+		// only force every cached plan through a spurious revalidation.
+		return BatchResult{DataVersion: e.DataVersion()}
+	}
+	v := e.part.ApplyBatch(ins, dels, e.graph.Dict)
+	e.batches.Add(1)
+	return BatchResult{Inserted: len(ins), Deleted: len(dels), DataVersion: v.Version()}
+}
+
+// UpdateStats is a snapshot of the engine's update/revalidation
+// counters.
+type UpdateStats struct {
+	// Batches is the number of ApplyBatch calls committed.
+	Batches uint64
+	// Revalidations counts cached plans re-checked against fresh
+	// statistics after a data-version change; Replans counts the
+	// revalidations that switched the entry to a different plan.
+	Revalidations uint64
+	Replans       uint64
+}
+
+// UpdateStats snapshots update activity since engine construction.
+func (e *Engine) UpdateStats() UpdateStats {
+	return UpdateStats{
+		Batches:       e.batches.Load(),
+		Revalidations: e.revalidations.Load(),
+		Replans:       e.replans.Load(),
+	}
+}
+
+// planOutcome is the full product of one optimize+select+compile run.
+type planOutcome struct {
+	chosen  *core.Plan // after projection push-down
+	pp      *physical.Plan
+	res     *core.Result
+	idx     int     // index of the winner within res.Unique
+	cost    float64 // its modeled cost at selection time
+	version uint64  // data version the statistics were read at
+}
+
+// statsModel reads the cardinality statistics for q together with the
+// data version they belong to, under the state read lock: a concurrent
+// ApplyBatch (which mutates the graph before committing its epoch) can
+// never leak a half-applied batch into the statistics, so the version
+// tag and the statistics are always mutually consistent.
+func (e *Engine) statsModel(q *sparql.Query) (*cost.Model, uint64) {
+	e.stateMu.RLock()
+	defer e.stateMu.RUnlock()
+	version := e.DataVersion()
+	return cost.NewModel(e.cfg.Constants, cost.NewStats(e.graph, q)), version
+}
+
+// plan optimizes q, selects the cheapest plan under current statistics
+// and compiles it.
+func (e *Engine) plan(q *sparql.Query) (*planOutcome, error) {
 	res, err := core.Optimize(q, core.Options{
 		Method:           e.cfg.Method,
 		MaxPlans:         e.cfg.MaxPlans,
@@ -123,13 +247,25 @@ func (e *Engine) Plan(q *sparql.Query) (*core.Plan, *physical.Plan, *core.Result
 		Timeout:          e.cfg.Timeout,
 	})
 	if err != nil {
-		return nil, nil, nil, err
+		return nil, err
 	}
 	if len(res.Unique) == 0 {
-		return nil, nil, nil, fmt.Errorf("csq: %s produced no plan for %s", e.cfg.Method, q.Name)
+		return nil, fmt.Errorf("csq: %s produced no plan for %s", e.cfg.Method, q.Name)
 	}
-	model := cost.NewModel(e.cfg.Constants, cost.NewStats(e.graph, q))
-	best := model.Choose(res.Unique)
+	model, version := e.statsModel(q)
+	best, idx, c := model.ChooseIndexed(res.Unique)
+	chosen, pp, err := e.finishPlan(best)
+	if err != nil {
+		return nil, err
+	}
+	return &planOutcome{chosen: chosen, pp: pp, res: res, idx: idx, cost: c, version: version}, nil
+}
+
+// finishPlan applies projection push-down, compiles the physical plan
+// and warms the logical plan's lazy memos (height, signature) so the
+// plan can be shared across goroutines without unsynchronized first
+// computations.
+func (e *Engine) finishPlan(best *core.Plan) (*core.Plan, *physical.Plan, error) {
 	if !e.cfg.NoProjectionPushdown {
 		best = core.PushProjections(best)
 	}
@@ -139,9 +275,22 @@ func (e *Engine) Plan(q *sparql.Query) (*core.Plan, *physical.Plan, *core.Result
 	}
 	pp, err := physical.CompileWith(best, caps)
 	if err != nil {
+		return nil, nil, err
+	}
+	best.Height()
+	best.Signature()
+	return best, pp, nil
+}
+
+// Plan optimizes q and returns the cost-selected logical plan, its
+// physical compilation, and the optimizer result (for plan-space
+// statistics).
+func (e *Engine) Plan(q *sparql.Query) (*core.Plan, *physical.Plan, *core.Result, error) {
+	out, err := e.plan(q)
+	if err != nil {
 		return nil, nil, nil, err
 	}
-	return best, pp, res, nil
+	return out.chosen, out.pp, out.res, nil
 }
 
 // execContext takes a context from the pool (or builds one from the
@@ -159,11 +308,20 @@ func (e *Engine) execContext() *physical.ExecContext {
 
 // ExecutePlan runs an already-compiled plan on a fresh cluster clock,
 // with per-node phases executed concurrently (per Config.Parallelism).
+// The execution pins the current data epoch for its whole duration:
+// batches committing meanwhile are invisible to it, and the result's
+// DataVersion reports the epoch served.
 func (e *Engine) ExecutePlan(pp *physical.Plan) (*physical.Result, error) {
 	ctx := e.execContext()
 	defer e.ctxPool.Put(ctx)
 	cl := mapreduce.NewCluster(e.store, e.cfg.Constants)
-	x := &physical.Executor{Cluster: cl, Part: e.part, Dict: e.graph.Dict, Ctx: ctx}
+	x := &physical.Executor{
+		Cluster: cl,
+		Part:    e.part,
+		Dict:    e.graph.Dict,
+		Ctx:     ctx,
+		View:    e.part.Current(),
+	}
 	return x.Execute(pp)
 }
 

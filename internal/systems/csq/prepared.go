@@ -1,6 +1,10 @@
 package csq
 
 import (
+	"math"
+	"sync"
+	"sync/atomic"
+
 	"cliquesquare/internal/core"
 	"cliquesquare/internal/physical"
 	"cliquesquare/internal/plancache"
@@ -34,29 +38,68 @@ type Prepared struct {
 	// canonical fingerprint of shape plus bindings, composed with the
 	// query Name (empty when the plan was prepared without the cache).
 	Fingerprint string
+	// DataVersion is the data epoch whose cardinality statistics chose
+	// this plan. The cache revalidates an entry whose version trails
+	// the engine's current epoch before serving it again; executions of
+	// a stale Prepared stay correct regardless (results do not depend
+	// on the statistics), so holders may keep running it.
+	DataVersion uint64
+
+	// unique retains the optimizer's candidate plan set so revalidation
+	// can re-run cost-based choice without re-enumerating the plan
+	// space; chosenIdx is this plan's index within it and chosenCost
+	// its modeled cost when it was last chosen. Candidate sets larger
+	// than retainedCandidatesMax are not retained (unique is nil) to
+	// bound cache memory; revalidation then re-enumerates instead.
+	unique     []*core.Plan
+	chosenIdx  int
+	chosenCost float64
+}
+
+// retainedCandidatesMax caps how many candidate plans a cached entry
+// keeps for revalidation. Real workload queries produce small unique
+// sets (the CliqueSquare variants are chosen for bounded plan spaces);
+// pathological synthetic shapes can reach Config.MaxPlans, which would
+// pin millions of operator nodes across a full cache.
+const retainedCandidatesMax = 64
+
+// retain returns the candidate set to keep on a Prepared, or nil when
+// it is too large to be worth pinning.
+func retain(unique []*core.Plan) []*core.Plan {
+	if len(unique) > retainedCandidatesMax {
+		return nil
+	}
+	return unique
 }
 
 // Prepare optimizes, selects and compiles q into an immutable Prepared
 // plan, without consulting the plan cache. This is the plan-once half
 // of the plan-once/execute-many split; ExecutePrepared is the other.
 func (e *Engine) Prepare(q *sparql.Query) (*Prepared, error) {
-	best, pp, res, err := e.Plan(q)
+	out, err := e.plan(q)
 	if err != nil {
 		return nil, err
 	}
-	// Warm the logical plan's lazy memos (height, signature) before the
-	// Prepared escapes: their first computation writes to the shared
-	// operator DAG, so it must happen-before concurrent executions.
-	h := best.Height()
-	best.Signature()
 	return &Prepared{
 		Query:         q,
-		Logical:       best,
-		Physical:      pp,
-		Height:        h,
-		PlansExplored: len(res.Plans),
-		UniquePlans:   len(res.Unique),
+		Logical:       out.chosen,
+		Physical:      out.pp,
+		Height:        out.chosen.Height(),
+		PlansExplored: len(out.res.Plans),
+		UniquePlans:   len(out.res.Unique),
+		DataVersion:   out.version,
+		unique:        retain(out.res.Unique),
+		chosenIdx:     out.idx,
+		chosenCost:    out.cost,
 	}, nil
+}
+
+// cacheEntry is one plan-cache slot: the current validated Prepared,
+// swapped atomically when revalidation refreshes or replaces it, plus a
+// mutex so concurrent revalidations of the same entry run once.
+type cacheEntry struct {
+	mu  sync.Mutex
+	cur atomic.Pointer[Prepared]
 }
 
 // PrepareCached returns the prepared plan for q's cache key, planning
@@ -70,6 +113,14 @@ func (e *Engine) Prepare(q *sparql.Query) (*Prepared, error) {
 // simulated job names derive from the Name, so folding it into the key
 // keeps cached and uncached JobStats byte-identical even for renamed
 // but otherwise equivalent queries.
+//
+// Entries are tagged with the data version whose statistics chose
+// them. A hit whose tag trails the current epoch is revalidated before
+// being served: the entry's retained candidate set is re-costed under
+// fresh statistics (plans survive epochs — only the stats-derived cost
+// choice can change), re-compiling only when a different candidate now
+// wins, so post-update cached executions remain byte-identical to
+// freshly planned ones. Config.ReplanDriftThreshold relaxes this.
 func (e *Engine) PrepareCached(q *sparql.Query) (p *Prepared, hit bool, err error) {
 	// Validate up front: the uncached path rejects malformed queries in
 	// the optimizer, and an unvalidated query must not be able to
@@ -82,17 +133,110 @@ func (e *Engine) PrepareCached(q *sparql.Query) (p *Prepared, hit bool, err erro
 		return p, false, err
 	}
 	key := sparql.Canonicalize(q).Key + "\x00" + q.Name
-	return e.cache.Do(key, func() (*Prepared, error) {
+	ent, hit, err := e.cache.Do(key, func() (*cacheEntry, error) {
 		p, err := e.Prepare(q)
-		if err == nil {
-			p.Fingerprint = key
+		if err != nil {
+			return nil, err
 		}
-		return p, err
+		p.Fingerprint = key
+		ent := &cacheEntry{}
+		ent.cur.Store(p)
+		return ent, nil
 	})
+	if err != nil {
+		return nil, false, err
+	}
+	p = ent.cur.Load()
+	if p.DataVersion == e.DataVersion() {
+		return p, hit, nil
+	}
+	// The epoch moved since this plan was validated: revalidate under
+	// the entry's lock so racing callers re-cost once, not N times.
+	ent.mu.Lock()
+	defer ent.mu.Unlock()
+	if p = ent.cur.Load(); p.DataVersion == e.DataVersion() {
+		return p, hit, nil
+	}
+	np, err := e.revalidate(p)
+	if err != nil {
+		return nil, false, err
+	}
+	ent.cur.Store(np)
+	return np, hit, nil
+}
+
+// revalidate re-checks a cached plan against the current epoch's
+// cardinality statistics. With a positive drift threshold, a cached
+// choice whose modeled cost moved little is kept without re-choosing;
+// otherwise the retained candidate set is re-costed and the winner
+// recompiled if it changed (entries whose candidate set was too large
+// to retain re-enumerate the plan space instead — same deterministic
+// outcome, bounded memory). The refreshed Prepared shares every
+// surviving component with the old one (old holders keep executing it
+// safely).
+func (e *Engine) revalidate(p *Prepared) (*Prepared, error) {
+	e.revalidations.Add(1)
+	if p.unique == nil {
+		np, err := e.Prepare(p.Query)
+		if err != nil {
+			return nil, err
+		}
+		if np.Logical.Signature() != p.Logical.Signature() {
+			e.replans.Add(1)
+		}
+		np.Fingerprint = p.Fingerprint
+		return np, nil
+	}
+	model, version := e.statsModel(p.Query)
+	if d := e.cfg.ReplanDriftThreshold; d > 0 {
+		nc := model.PlanCost(p.unique[p.chosenIdx])
+		if relDrift(nc, p.chosenCost) <= d {
+			np := *p
+			np.DataVersion = version
+			return &np, nil
+		}
+	}
+	best, idx, c := model.ChooseIndexed(p.unique)
+	if idx == p.chosenIdx {
+		np := *p
+		np.DataVersion = version
+		np.chosenCost = c
+		return &np, nil
+	}
+	e.replans.Add(1)
+	chosen, pp, err := e.finishPlan(best)
+	if err != nil {
+		return nil, err
+	}
+	return &Prepared{
+		Query:         p.Query,
+		Logical:       chosen,
+		Physical:      pp,
+		Height:        chosen.Height(),
+		PlansExplored: p.PlansExplored,
+		UniquePlans:   p.UniquePlans,
+		Fingerprint:   p.Fingerprint,
+		DataVersion:   version,
+		unique:        p.unique,
+		chosenIdx:     idx,
+		chosenCost:    c,
+	}, nil
+}
+
+// relDrift is the relative change from old to new modeled cost.
+func relDrift(new, old float64) float64 {
+	if old == 0 {
+		if new == 0 {
+			return 0
+		}
+		return math.Inf(1)
+	}
+	return math.Abs(new-old) / old
 }
 
 // ExecutePrepared runs a prepared plan on a fresh cluster clock. Many
-// goroutines may execute the same Prepared simultaneously.
+// goroutines may execute the same Prepared simultaneously; each
+// execution pins the then-current data epoch.
 func (e *Engine) ExecutePrepared(p *Prepared) (*physical.Result, error) {
 	return e.ExecutePlan(p.Physical)
 }
