@@ -74,13 +74,6 @@ type Options struct {
 	// identical results and statistics — the cache only removes
 	// repeated optimizer work.
 	PlanCacheSize int
-	// ReplanDriftThreshold tunes plan-cache revalidation after updates.
-	// 0 (the default) re-runs cost-based plan choice whenever the data
-	// version moved, keeping cached executions identical to freshly
-	// planned ones; a positive fraction keeps the cached plan while its
-	// modeled cost drifts by at most that much (results stay correct —
-	// only the plan choice may lag the statistics).
-	ReplanDriftThreshold float64
 }
 
 // Engine evaluates queries over a partitioned dataset.
@@ -112,7 +105,6 @@ func NewEngine(g *Graph, opts Options) (*Engine, error) {
 		cfg.Parallelism = opts.Parallelism
 	}
 	cfg.PlanCacheSize = opts.PlanCacheSize
-	cfg.ReplanDriftThreshold = opts.ReplanDriftThreshold
 	return &Engine{inner: csq.New(g, cfg), dict: g.Dict}, nil
 }
 

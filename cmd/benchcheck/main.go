@@ -1,0 +1,194 @@
+// Command benchcheck compares two benchmark result files in `go test
+// -json` form (the BENCH_*.json CI artifacts) and fails when the new
+// run regresses against the baseline: allocs/op must not exceed the
+// baseline at all (allocation counts are deterministic, so any increase
+// is a real regression), while ns/op gets a configurable relative slack
+// (CI runners are noisy). Repeated measurements of one benchmark
+// (-count N) are reduced to their median, a benchstat-style central
+// value robust to one-off outliers.
+//
+// Usage:
+//
+//	benchcheck -baseline BENCH_pr2.json -new BENCH_pr6.json [-ns-slack 0.30]
+//
+// Benchmarks present only in the baseline are ignored (old benchmarks
+// may be retired); benchmarks present only in the new file pass (no
+// baseline to regress against). The comparison table is printed either
+// way.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+	"text/tabwriter"
+)
+
+// sample is the per-benchmark series of repeated measurements.
+type sample struct {
+	nsOp     []float64
+	allocsOp []float64
+}
+
+// event is the subset of a `go test -json` line benchcheck reads.
+type event struct {
+	Action string
+	Output string
+}
+
+// parseFile extracts benchmark result lines from a go test -json file,
+// keyed on the benchmark name with any trailing -GOMAXPROCS suffix
+// stripped (so runs from machines with different core counts compare).
+// The JSON events are first re-joined into the plain text stream: the
+// test runner emits a benchmark's name and its measurements as separate
+// output events (the name is printed without a newline, the numbers
+// follow), so a result line only exists after concatenation. Plain
+// (non-JSON) `go test -bench` output is accepted as-is.
+func parseFile(path string) (map[string]*sample, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var text strings.Builder
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	for sc.Scan() {
+		var ev event
+		if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
+			// Not a -json file: treat the raw line as test output.
+			text.Write(sc.Bytes())
+			text.WriteByte('\n')
+			continue
+		}
+		if ev.Action == "output" {
+			text.WriteString(ev.Output)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	out := map[string]*sample{}
+	for _, line := range strings.Split(text.String(), "\n") {
+		if !strings.Contains(line, " ns/op") {
+			continue
+		}
+		fields := strings.Fields(strings.TrimSpace(line))
+		if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+			continue
+		}
+		name := fields[0]
+		if i := strings.LastIndex(name, "-"); i > 0 {
+			if _, err := strconv.Atoi(name[i+1:]); err == nil {
+				name = name[:i]
+			}
+		}
+		s := out[name]
+		if s == nil {
+			s = &sample{}
+			out[name] = s
+		}
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				continue
+			}
+			switch fields[i+1] {
+			case "ns/op":
+				s.nsOp = append(s.nsOp, v)
+			case "allocs/op":
+				s.allocsOp = append(s.allocsOp, v)
+			}
+		}
+	}
+	return out, nil
+}
+
+func median(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	ys := append([]float64(nil), xs...)
+	sort.Float64s(ys)
+	n := len(ys)
+	if n%2 == 1 {
+		return ys[n/2]
+	}
+	return (ys[n/2-1] + ys[n/2]) / 2
+}
+
+func pct(new, old float64) string {
+	if old == 0 {
+		return "n/a"
+	}
+	return fmt.Sprintf("%+.1f%%", 100*(new-old)/old)
+}
+
+func main() {
+	baselinePath := flag.String("baseline", "", "baseline results (go test -json), e.g. the committed BENCH_pr2.json")
+	newPath := flag.String("new", "", "new results (go test -json) to check against the baseline")
+	nsSlack := flag.Float64("ns-slack", 0.30, "allowed relative ns/op regression before failing (0.30 = 30%)")
+	flag.Parse()
+	if *baselinePath == "" || *newPath == "" {
+		fmt.Fprintln(os.Stderr, "benchcheck: -baseline and -new are required")
+		flag.Usage()
+		os.Exit(2)
+	}
+	base, err := parseFile(*baselinePath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchcheck: %s: %v\n", *baselinePath, err)
+		os.Exit(2)
+	}
+	cur, err := parseFile(*newPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchcheck: %s: %v\n", *newPath, err)
+		os.Exit(2)
+	}
+	if len(cur) == 0 {
+		fmt.Fprintf(os.Stderr, "benchcheck: %s holds no benchmark results\n", *newPath)
+		os.Exit(2)
+	}
+
+	names := make([]string, 0, len(cur))
+	for name := range cur {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "benchmark\tns/op old\tns/op new\tΔ\tallocs/op old\tallocs/op new\tΔ\tverdict")
+	failed := false
+	for _, name := range names {
+		nc := cur[name]
+		ob, ok := base[name]
+		if !ok {
+			fmt.Fprintf(w, "%s\t-\t%.0f\t-\t-\t%.0f\t-\tnew\n",
+				name, median(nc.nsOp), median(nc.allocsOp))
+			continue
+		}
+		oldNs, newNs := median(ob.nsOp), median(nc.nsOp)
+		oldAllocs, newAllocs := median(ob.allocsOp), median(nc.allocsOp)
+		verdict := "ok"
+		if newAllocs > oldAllocs {
+			verdict = "FAIL allocs/op regressed"
+			failed = true
+		}
+		if oldNs > 0 && newNs > oldNs*(1+*nsSlack) {
+			verdict = fmt.Sprintf("FAIL ns/op beyond %+.0f%% slack", 100**nsSlack)
+			failed = true
+		}
+		fmt.Fprintf(w, "%s\t%.0f\t%.0f\t%s\t%.0f\t%.0f\t%s\t%s\n",
+			name, oldNs, newNs, pct(newNs, oldNs),
+			oldAllocs, newAllocs, pct(newAllocs, oldAllocs), verdict)
+	}
+	w.Flush()
+	if failed {
+		fmt.Fprintln(os.Stderr, "benchcheck: performance regression against baseline")
+		os.Exit(1)
+	}
+}

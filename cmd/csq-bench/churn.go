@@ -21,7 +21,6 @@ type churnMetrics struct {
 	Clients      int     `json:"clients"`
 	Writers      int     `json:"writers"`
 	BatchSize    int     `json:"batch_size"`
-	Drift        float64 `json:"replan_drift_threshold"`
 	Requests     int     `json:"requests"` // reads completed, total
 	WallSeconds  float64 `json:"wall_seconds"`
 	ReadQPS      float64 `json:"read_qps"`
@@ -52,14 +51,11 @@ type churnMetrics struct {
 // reports read QPS and latency under write pressure, write throughput,
 // answer staleness in epochs, plan-cache revalidation activity, and a
 // final equivalence check against a freshly loaded engine.
-func churn(cc experiments.ClusterConfig, clients, requests, writers, batchSize int, drift float64, outPath string) error {
+func churn(cc experiments.ClusterConfig, clients, requests, writers, batchSize int, outPath string) error {
 	fmt.Printf("== Churn: %d readers x %d requests vs %d writers, batch %d (LUBM, %d universities, %d nodes) ==\n",
 		clients, requests, writers, batchSize, cc.Universities, cc.Nodes)
 	g := lubm.Generate(lubm.DefaultConfig(cc.Universities))
-	eng, err := cliquesquare.NewEngine(g, cliquesquare.Options{
-		Nodes:                cc.Nodes,
-		ReplanDriftThreshold: drift,
-	})
+	eng, err := cliquesquare.NewEngine(g, cliquesquare.Options{Nodes: cc.Nodes})
 	if err != nil {
 		return err
 	}
@@ -246,7 +242,6 @@ func churn(cc experiments.ClusterConfig, clients, requests, writers, batchSize i
 		Clients:       clients,
 		Writers:       writers,
 		BatchSize:     chunk,
-		Drift:         drift,
 		Requests:      len(readLat),
 		WallSeconds:   wall.Seconds(),
 		ReadQPS:       float64(len(readLat)) / wall.Seconds(),

@@ -16,7 +16,7 @@
 // workload size (-pershape) and the optimizer budgets. The serving and
 // churn experiments (engineering extensions beyond the paper's
 // single-shot measurements) take -clients and -requests, churn
-// additionally -writers, -batch and -drift, and -out writes their
+// additionally -writers and -batch, and -out writes their
 // metrics as JSON.
 package main
 
@@ -24,6 +24,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"text/tabwriter"
 	"time"
 
@@ -43,9 +45,40 @@ func main() {
 	requests := flag.Int("requests", 100, "serving/churn: requests per reader (across the query mix)")
 	writers := flag.Int("writers", 2, "churn: concurrent writer goroutines")
 	batch := flag.Int("batch", 200, "churn: max triples per update batch")
-	drift := flag.Float64("drift", 0, "churn: plan-cache replan drift threshold (0 = always re-choose)")
 	out := flag.String("out", "", "serving/churn: write metrics JSON to this file")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the selected experiments to this file")
+	memprofile := flag.String("memprofile", "", "write an allocation profile taken after the experiments to this file")
 	flag.Parse()
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "csq-bench: -cpuprofile: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "csq-bench: -cpuprofile: %v\n", err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	defer func() {
+		if *memprofile == "" {
+			return
+		}
+		f, err := os.Create(*memprofile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "csq-bench: -memprofile: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		runtime.GC() // flush garbage so the profile shows live + cumulative allocation sites
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "csq-bench: -memprofile: %v\n", err)
+			os.Exit(1)
+		}
+	}()
 
 	cc := experiments.DefaultClusterConfig()
 	cc.Universities = *univ
@@ -57,6 +90,9 @@ func main() {
 		}
 		if err := f(); err != nil {
 			fmt.Fprintf(os.Stderr, "csq-bench: %s: %v\n", name, err)
+			// os.Exit skips the deferred profile teardown: flush the CPU
+			// profile so a failed run still leaves a readable file.
+			pprof.StopCPUProfile()
 			os.Exit(1)
 		}
 	}
@@ -66,7 +102,7 @@ func main() {
 	run("plans", func() error { return plans(cc) })
 	run("systems", func() error { return systemsCmp(cc) })
 	run("serving", func() error { return serving(cc, *clients, *requests, *out) })
-	run("churn", func() error { return churn(cc, *clients, *requests, *writers, *batch, *drift, *out) })
+	run("churn", func() error { return churn(cc, *clients, *requests, *writers, *batch, *out) })
 }
 
 func tw() *tabwriter.Writer {

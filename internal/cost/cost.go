@@ -17,59 +17,74 @@ import (
 )
 
 // Stats holds per-pattern cardinality statistics for one query over one
-// graph, collected with a single pass per pattern.
+// graph, collected with a single pass per pattern and maintainable
+// incrementally: Apply folds an insert/delete delta into the counts in
+// O(|delta| × patterns), so revalidating a cached plan after an update
+// never rescans the graph. The per-variable binding multisets that make
+// deletion exact are retained on the Stats; card and distinct are plain
+// integer counts stored in float64, so incremental maintenance and a
+// fresh rebuild produce bit-identical statistics.
+//
+// A Stats is not safe for concurrent use; callers serialize Apply
+// against readers (the engine guards each cache entry's Stats with its
+// own mutex).
 type Stats struct {
 	q *sparql.Query
+	// pats[i] is pattern i's matcher with constants pre-resolved to
+	// TermIDs (resolution is re-attempted in Apply for constants the
+	// dictionary did not know yet at build time).
+	pats []matcher
 	// card[i] is the number of triples matching pattern i.
 	card []float64
 	// distinct[i][v] is the number of distinct bindings of variable v
 	// among pattern i's matches.
 	distinct []map[string]float64
+	// counts[i][v] is the multiset behind distinct[i][v]: how many
+	// occurrences of each binding the per-position scan saw (a variable
+	// repeated within one pattern counts once per position, same as the
+	// fresh scan). Deletes decrement and drop zeroed keys, so
+	// len(counts[i][v]) always equals the fresh distinct count.
+	counts []map[string]map[rdf.TermID]int
 }
 
-// NewStats scans g once per pattern of q and records match counts and
-// per-variable distinct-value counts.
-func NewStats(g *rdf.Graph, q *sparql.Query) *Stats {
-	s := &Stats{
-		q:        q,
-		card:     make([]float64, len(q.Patterns)),
-		distinct: make([]map[string]float64, len(q.Patterns)),
-	}
-	for i, tp := range q.Patterns {
-		seen := make(map[string]map[rdf.TermID]bool)
-		for _, v := range tp.Vars() {
-			seen[v] = make(map[rdf.TermID]bool)
-		}
-		n := 0
-		for _, t := range g.Triples() {
-			if !matches(g.Dict, tp, t) {
-				continue
-			}
-			n++
-			for _, p := range []rdf.Pos{rdf.SPos, rdf.PPos, rdf.OPos} {
-				if pt := tp.At(p); pt.IsVar {
-					seen[pt.Var][t.At(p)] = true
-				}
-			}
-		}
-		s.card[i] = float64(n)
-		s.distinct[i] = make(map[string]float64, len(seen))
-		for v, m := range seen {
-			s.distinct[i][v] = float64(len(m))
-		}
-	}
-	return s
+// matcher is a triple pattern with its constant terms resolved against
+// the dictionary. A constant absent from the dictionary stays
+// unresolved (no triple can match until it appears); Apply retries the
+// lookup, since inserts may introduce the term.
+type matcher struct {
+	tp       sparql.TriplePattern
+	constID  [3]rdf.TermID
+	resolved [3]bool
 }
 
-func matches(d *rdf.Dict, tp sparql.TriplePattern, t rdf.Triple) bool {
+// resolve (re-)attempts dictionary resolution of the pattern's constant
+// positions, reporting whether every constant is now resolved.
+func (pm *matcher) resolve(d *rdf.Dict) bool {
+	ok := true
+	for _, p := range []rdf.Pos{rdf.SPos, rdf.PPos, rdf.OPos} {
+		pt := pm.tp.At(p)
+		if pt.IsVar || pm.resolved[p] {
+			continue
+		}
+		if id, found := d.Lookup(pt.Term); found {
+			pm.constID[p], pm.resolved[p] = id, true
+		} else {
+			ok = false
+		}
+	}
+	return ok
+}
+
+// match checks t against the resolved pattern: constant positions must
+// equal their resolved ids, repeated variables must bind consistently.
+func (pm *matcher) match(t rdf.Triple) bool {
 	var bound [3]rdf.TermID
 	var names [3]string
 	nb := 0
 	for _, p := range []rdf.Pos{rdf.SPos, rdf.PPos, rdf.OPos} {
-		pt := tp.At(p)
+		pt := pm.tp.At(p)
 		if !pt.IsVar {
-			id, ok := d.Lookup(pt.Term)
-			if !ok || id != t.At(p) {
+			if !pm.resolved[p] || pm.constID[p] != t.At(p) {
 				return false
 			}
 			continue
@@ -83,6 +98,95 @@ func matches(d *rdf.Dict, tp sparql.TriplePattern, t rdf.Triple) bool {
 		nb++
 	}
 	return true
+}
+
+// NewStats scans g once per pattern of q and records match counts and
+// per-variable distinct-value counts (with the backing multisets that
+// let Apply maintain them under deletes).
+func NewStats(g *rdf.Graph, q *sparql.Query) *Stats {
+	s := &Stats{
+		q:        q,
+		pats:     make([]matcher, len(q.Patterns)),
+		card:     make([]float64, len(q.Patterns)),
+		distinct: make([]map[string]float64, len(q.Patterns)),
+		counts:   make([]map[string]map[rdf.TermID]int, len(q.Patterns)),
+	}
+	for i, tp := range q.Patterns {
+		pm := matcher{tp: tp}
+		pm.resolve(g.Dict)
+		seen := make(map[string]map[rdf.TermID]int)
+		for _, v := range tp.Vars() {
+			seen[v] = make(map[rdf.TermID]int)
+		}
+		n := 0
+		for _, t := range g.Triples() {
+			if !pm.match(t) {
+				continue
+			}
+			n++
+			for _, p := range []rdf.Pos{rdf.SPos, rdf.PPos, rdf.OPos} {
+				if pt := tp.At(p); pt.IsVar {
+					seen[pt.Var][t.At(p)]++
+				}
+			}
+		}
+		s.pats[i] = pm
+		s.card[i] = float64(n)
+		s.counts[i] = seen
+		s.distinct[i] = make(map[string]float64, len(seen))
+		for v, m := range seen {
+			s.distinct[i][v] = float64(len(m))
+		}
+	}
+	return s
+}
+
+// Apply folds an effective insert/delete delta (inserts of triples now
+// present, deletes of triples that were present — exactly what the
+// engine's ApplyBatch computes) into the statistics, leaving them
+// identical to a fresh NewStats over the mutated graph. Cost is
+// O(|delta| × patterns) — independent of graph size — which is what
+// makes post-update plan-cache revalidation cheap.
+func (s *Stats) Apply(d *rdf.Dict, inserts, deletes []rdf.Triple) {
+	for i := range s.pats {
+		pm := &s.pats[i]
+		// Inserts may have introduced a constant term the dictionary
+		// did not know when the matcher was built.
+		pm.resolve(d)
+		tp := pm.tp
+		n := 0
+		for _, t := range inserts {
+			if !pm.match(t) {
+				continue
+			}
+			n++
+			for _, p := range []rdf.Pos{rdf.SPos, rdf.PPos, rdf.OPos} {
+				if pt := tp.At(p); pt.IsVar {
+					s.counts[i][pt.Var][t.At(p)]++
+				}
+			}
+		}
+		for _, t := range deletes {
+			if !pm.match(t) {
+				continue
+			}
+			n--
+			for _, p := range []rdf.Pos{rdf.SPos, rdf.PPos, rdf.OPos} {
+				if pt := tp.At(p); pt.IsVar {
+					m := s.counts[i][pt.Var]
+					if m[t.At(p)]--; m[t.At(p)] <= 0 {
+						delete(m, t.At(p))
+					}
+				}
+			}
+		}
+		if n != 0 {
+			s.card[i] += float64(n)
+		}
+		for v, m := range s.counts[i] {
+			s.distinct[i][v] = float64(len(m))
+		}
+	}
 }
 
 // PatternCard returns the exact match count of pattern i.

@@ -125,3 +125,95 @@ func TestChooseEmpty(t *testing.T) {
 		t.Error("Choose(nil) != nil")
 	}
 }
+
+// applyStats mutates the graph with one effective delta and mirrors it
+// into s via Apply, the way the engine's ApplyBatch does.
+func applyStats(g *rdf.Graph, s *Stats, ins, dels []rdf.Triple) {
+	var effDels []rdf.Triple
+	for _, t := range dels {
+		if g.Contains(t) {
+			effDels = append(effDels, t)
+		}
+	}
+	g.RemoveBatch(effDels)
+	var effIns []rdf.Triple
+	for _, t := range ins {
+		if g.Add(t) {
+			effIns = append(effIns, t)
+		}
+	}
+	s.Apply(g.Dict, effIns, effDels)
+}
+
+// checkStatsFresh asserts that incrementally maintained statistics are
+// identical to a fresh rebuild over the mutated graph.
+func checkStatsFresh(t *testing.T, g *rdf.Graph, q *sparql.Query, s *Stats, step string) {
+	t.Helper()
+	fresh := NewStats(g, q)
+	for i := range q.Patterns {
+		if s.card[i] != fresh.card[i] {
+			t.Errorf("%s: card[%d] = %v incrementally, %v fresh", step, i, s.card[i], fresh.card[i])
+		}
+		for v, d := range fresh.distinct[i] {
+			if s.distinct[i][v] != d {
+				t.Errorf("%s: distinct[%d][%s] = %v incrementally, %v fresh", step, i, v, s.distinct[i][v], d)
+			}
+		}
+		for v, m := range fresh.counts[i] {
+			for id, n := range m {
+				if s.counts[i][v][id] != n {
+					t.Errorf("%s: counts[%d][%s][%d] = %d incrementally, %d fresh",
+						step, i, v, id, s.counts[i][v][id], n)
+				}
+			}
+			if len(s.counts[i][v]) != len(m) {
+				t.Errorf("%s: counts[%d][%s] has %d keys incrementally, %d fresh",
+					step, i, v, len(s.counts[i][v]), len(m))
+			}
+		}
+	}
+}
+
+// TestStatsApplyMatchesFresh drives a graph through insert and delete
+// batches — including constant-bound and repeated-variable patterns and
+// a constant term the dictionary first learns mid-stream — and checks
+// after every batch that Apply left the statistics identical to a fresh
+// NewStats over the mutated graph.
+func TestStatsApplyMatchesFresh(t *testing.T) {
+	g := chainGraph(10)
+	q := sparql.MustParse(`SELECT ?x ?z WHERE {
+		?x <p1> ?y . ?y <p2> ?z . ?z <p3> <d0> . ?x <loop> ?x }`)
+	s := NewStats(g, q)
+	checkStatsFresh(t, g, q, s, "initial")
+
+	spo := func(sub, p, o string) rdf.Triple {
+		return rdf.Triple{S: g.Dict.EncodeIRI(sub), P: g.Dict.EncodeIRI(p), O: g.Dict.EncodeIRI(o)}
+	}
+	// Inserts matching several patterns, plus a self-loop: the <loop>
+	// predicate (and the repeated-variable binding) enters the
+	// dictionary only now, exercising late constant resolution.
+	applyStats(g, s, []rdf.Triple{
+		spo("a99", "p1", "b0"),
+		spo("n1", "loop", "n1"),
+		spo("n1", "loop", "n2"), // loop edge that does NOT match ?x <loop> ?x
+	}, nil)
+	checkStatsFresh(t, g, q, s, "after inserts")
+
+	// Deletes, including the last p2 edge into c1 (its distinct binding
+	// must vanish) and the self-loop.
+	applyStats(g, s, nil, []rdf.Triple{
+		spo("a0", "p1", "b0"),
+		spo("b1", "p2", "c1"),
+		spo("b4", "p2", "c1"),
+		spo("b7", "p2", "c1"),
+		spo("n1", "loop", "n1"),
+		spo("never", "p1", "existed"), // no-op delete
+	})
+	checkStatsFresh(t, g, q, s, "after deletes")
+
+	// Mixed batch: delete and re-insert overlapping rows.
+	applyStats(g, s,
+		[]rdf.Triple{spo("a0", "p1", "b0"), spo("b1", "p2", "c1")},
+		[]rdf.Triple{spo("a99", "p1", "b0")})
+	checkStatsFresh(t, g, q, s, "after mixed batch")
+}

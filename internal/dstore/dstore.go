@@ -13,10 +13,16 @@
 // publishes the new Snapshot atomically, so a batch is either invisible
 // or fully visible — never torn.
 //
-// Files are immutable once published. Their lazily built secondary
-// indexes are published through an atomic pointer (the hot read path
-// takes no lock), and a commit derives the successor file's indexes
-// incrementally from its predecessor's instead of discarding them.
+// Files are columnar in the large: a File stores its rows as one
+// contiguous slab of fixed-width TermID cells (row i is
+// slab[i*w:(i+1)*w]), so scanning a file walks a single flat array with
+// no per-row pointer chasing. Files are immutable once published. Their
+// lazily built secondary indexes are flat CSR-style posting lists (one
+// shared id buffer per column, spans addressed through a small hash
+// table) published through an atomic pointer — the hot read path takes
+// no lock and a Lookup allocates nothing — and a commit derives the
+// successor file's indexes incrementally from its predecessor's instead
+// of discarding them.
 package dstore
 
 import (
@@ -29,65 +35,242 @@ import (
 	"cliquesquare/internal/rdf"
 )
 
-// Row is a flat tuple of dictionary-encoded terms.
+// Row is a flat tuple of dictionary-encoded terms. Rows handed out by a
+// File are views into its slab and must not be modified.
 type Row []rdf.TermID
 
 // Clone returns an independent copy of the row.
 func (r Row) Clone() Row { return append(Row(nil), r...) }
 
-// File is a named partition file: rows sharing a schema. A File is
-// immutable once it is part of a published Snapshot — mutations produce
-// a successor File in the next epoch; readers holding this one keep an
-// unchanging view.
+// File is a named partition file: fixed-width rows sharing a schema,
+// stored as one contiguous cell slab. A File is immutable once it is
+// part of a published Snapshot — mutations produce a successor File in
+// the next epoch; readers holding this one keep an unchanging view.
 type File struct {
 	Name   string
 	Schema []string // column names (e.g. "s", "p", "o")
-	Rows   []Row
 
-	// idx publishes the lazily built secondary hash indexes, one per
-	// column: constant term -> ids of the rows holding it in that
-	// column. Published via an atomic pointer so Lookup's hot path is
-	// lock-free; buildMu serializes the (idempotent) slow-path builds.
+	// slab holds the rows back to back: row i occupies
+	// slab[i*w : (i+1)*w] where w = len(Schema). n is the row count.
+	slab []rdf.TermID
+	n    int
+
+	// idx publishes the lazily built secondary indexes, one CSR posting
+	// list per column: constant term -> ids of the rows holding it in
+	// that column. Published via an atomic pointer so Lookup's hot path
+	// is lock-free; buildMu serializes the (idempotent) slow-path
+	// builds.
 	idx     atomic.Pointer[fileIndex]
 	buildMu sync.Mutex
 }
 
+// newFile wraps an already-built slab (ownership transfers to the
+// File).
+func newFile(name string, schema []string, slab []rdf.TermID) *File {
+	w := len(schema)
+	n := 0
+	if w > 0 {
+		n = len(slab) / w
+	}
+	return &File{Name: name, Schema: schema, slab: slab, n: n}
+}
+
+// NumRows reports the number of rows in the file.
+func (f *File) NumRows() int { return f.n }
+
+// Width is the fixed row width (the number of schema columns).
+func (f *File) Width() int { return len(f.Schema) }
+
+// Row returns row i as a view into the file's slab. The returned slice
+// must not be modified.
+func (f *File) Row(i int) Row {
+	w := len(f.Schema)
+	return f.slab[i*w : (i+1)*w : (i+1)*w]
+}
+
+// Slab exposes the file's contiguous cell buffer (row i occupies cells
+// [i*Width(), (i+1)*Width())). It must not be modified.
+func (f *File) Slab() []rdf.TermID { return f.slab }
+
 // fileIndex is one immutable generation of a file's secondary indexes.
 // cols[c] is nil until column c has been built (or derived).
 type fileIndex struct {
-	cols []map[rdf.TermID][]int32
+	cols []*colIndex
 }
 
-// Lookup returns the ids (offsets into Rows) of the rows whose column
-// col equals id, using a secondary hash index built lazily on first
-// use. The hot path (index already built) is a single atomic load; the
-// returned slice must not be modified.
+// colIndex is an immutable CSR-style posting-list index over one
+// column: the row ids for every distinct key live in one flat buffer,
+// addressed by per-key [off, off) spans, with an open-addressing hash
+// table mapping a key to its span. Posting lists are in ascending row
+// order.
+type colIndex struct {
+	buckets []int32 // hash slot -> key index + 1 (0 = empty)
+	mask    uint32
+	keys    []rdf.TermID
+	off     []int32 // len(keys)+1 prefix offsets into ids
+	ids     []int32 // all posting lists, back to back
+}
+
+// hashID spreads a TermID over the bucket space (murmur3 finalizer).
+func hashID(id rdf.TermID) uint32 {
+	x := uint32(id)
+	x ^= x >> 16
+	x *= 0x85ebca6b
+	x ^= x >> 13
+	x *= 0xc2b2ae35
+	x ^= x >> 16
+	return x
+}
+
+// lookup returns the posting span for id, or nil when absent. It
+// allocates nothing.
+func (ix *colIndex) lookup(id rdf.TermID) []int32 {
+	if len(ix.keys) == 0 {
+		return nil
+	}
+	h := hashID(id) & ix.mask
+	for {
+		e := ix.buckets[h]
+		if e == 0 {
+			return nil
+		}
+		if ix.keys[e-1] == id {
+			return ix.ids[ix.off[e-1]:ix.off[e]]
+		}
+		h = (h + 1) & ix.mask
+	}
+}
+
+// slotOf returns the key index of id, which must be present.
+func (ix *colIndex) slotOf(id rdf.TermID) int32 {
+	h := hashID(id) & ix.mask
+	for {
+		e := ix.buckets[h]
+		if ix.keys[e-1] == id {
+			return e - 1
+		}
+		h = (h + 1) & ix.mask
+	}
+}
+
+// colBuilder accumulates (key, count) pairs for one column, then
+// finishes into a colIndex whose spans are sized but not yet filled.
+type colBuilder struct {
+	buckets []int32
+	mask    uint32
+	keys    []rdf.TermID
+	cnt     []int32
+}
+
+// newColBuilder sizes the builder's table for up to capHint distinct
+// keys.
+func newColBuilder(capHint int) *colBuilder {
+	size := 8
+	for size < capHint*2 {
+		size <<= 1
+	}
+	return &colBuilder{buckets: make([]int32, size), mask: uint32(size - 1)}
+}
+
+// add registers n occurrences of key k.
+func (b *colBuilder) add(k rdf.TermID, n int32) {
+	h := hashID(k) & b.mask
+	for {
+		e := b.buckets[h]
+		if e == 0 {
+			b.keys = append(b.keys, k)
+			b.cnt = append(b.cnt, n)
+			b.buckets[h] = int32(len(b.keys))
+			return
+		}
+		if b.keys[e-1] == k {
+			b.cnt[e-1] += n
+			return
+		}
+		h = (h + 1) & b.mask
+	}
+}
+
+// finish turns the accumulated counts into a colIndex with prefix
+// offsets and a zeroed ids buffer (the caller fills the spans). The
+// bucket table is shrunk when the distinct-key count came in far below
+// the capacity hint, so published indexes stay tight.
+func (b *colBuilder) finish() *colIndex {
+	nk := len(b.keys)
+	ix := &colIndex{keys: b.keys, off: make([]int32, nk+1)}
+	total := int32(0)
+	for e := 0; e < nk; e++ {
+		ix.off[e] = total
+		total += b.cnt[e]
+	}
+	ix.off[nk] = total
+	ix.ids = make([]int32, total)
+	tight := 8
+	for tight < nk*2 {
+		tight <<= 1
+	}
+	if tight >= len(b.buckets) {
+		ix.buckets, ix.mask = b.buckets, b.mask
+	} else {
+		ix.buckets = make([]int32, tight)
+		ix.mask = uint32(tight - 1)
+		for e, k := range b.keys {
+			h := hashID(k) & ix.mask
+			for ix.buckets[h] != 0 {
+				h = (h + 1) & ix.mask
+			}
+			ix.buckets[h] = int32(e + 1)
+		}
+	}
+	return ix
+}
+
+// buildColIndex builds column c's posting lists from scratch in two
+// passes over the slab: count per key, then fill spans in row order
+// (so every posting list is ascending).
+func buildColIndex(slab []rdf.TermID, w, n, c int) *colIndex {
+	b := newColBuilder(n)
+	for i := 0; i < n; i++ {
+		b.add(slab[i*w+c], 1)
+	}
+	ix := b.finish()
+	cur := append([]int32(nil), ix.off[:len(ix.keys)]...)
+	for i := 0; i < n; i++ {
+		e := ix.slotOf(slab[i*w+c])
+		ix.ids[cur[e]] = int32(i)
+		cur[e]++
+	}
+	return ix
+}
+
+// Lookup returns the ids (row indexes) of the rows whose column col
+// equals id, using a secondary index built lazily on first use. The
+// hot path (index already built) is a single atomic load plus a hash
+// probe and allocates nothing; the returned slice must not be
+// modified.
 func (f *File) Lookup(col int, id rdf.TermID) []int32 {
 	if ix := f.idx.Load(); ix != nil && ix.cols[col] != nil {
-		return ix.cols[col][id]
+		return ix.cols[col].lookup(id)
 	}
-	return f.buildCol(col)[id]
+	return f.buildCol(col).lookup(id)
 }
 
 // buildCol builds column col's index and publishes a new fileIndex
 // generation carrying it (plus every previously built column).
-func (f *File) buildCol(col int) map[rdf.TermID][]int32 {
+func (f *File) buildCol(col int) *colIndex {
 	f.buildMu.Lock()
 	defer f.buildMu.Unlock()
 	if ix := f.idx.Load(); ix != nil && ix.cols[col] != nil {
 		return ix.cols[col] // lost the build race: reuse the winner's
 	}
-	m := make(map[rdf.TermID][]int32)
-	for r, row := range f.Rows {
-		m[row[col]] = append(m[row[col]], int32(r))
-	}
-	nix := &fileIndex{cols: make([]map[rdf.TermID][]int32, len(f.Schema))}
+	cix := buildColIndex(f.slab, len(f.Schema), f.n, col)
+	nix := &fileIndex{cols: make([]*colIndex, len(f.Schema))}
 	if old := f.idx.Load(); old != nil {
 		copy(nix.cols, old.cols)
 	}
-	nix.cols[col] = m
+	nix.cols[col] = cix
 	f.idx.Store(nix)
-	return m
+	return cix
 }
 
 // NodeView is one node's file set within a Snapshot: an immutable
@@ -120,7 +303,7 @@ func (v NodeView) Names() []string {
 func (v NodeView) Rows() int {
 	t := 0
 	for _, f := range v.files {
-		t += len(f.Rows)
+		t += f.n
 	}
 	return t
 }
@@ -236,12 +419,14 @@ func (s *Store) Version() uint64 { return s.Current().version }
 // snapshot (replicas counted separately).
 func (s *Store) TotalRows() int { return s.Current().TotalRows() }
 
-// fileMut buffers one file's pending mutations within a Tx.
+// fileMut buffers one file's pending mutations within a Tx. Appended
+// rows are buffered flat (cells back to back at the file's width), so
+// bulk loads build the successor slab without per-row allocations.
 type fileMut struct {
 	schema  []string
-	appends []Row
-	deletes []Row // rows to remove, matched by value
-	drop    bool  // remove the whole file (before applying appends)
+	cells   []rdf.TermID // appended rows, flattened at len(schema) width
+	deletes []Row        // rows to remove, matched by value
+	drop    bool         // remove the whole file (before applying appends)
 }
 
 // Tx is a write transaction: it buffers appends and deletes across any
@@ -287,6 +472,29 @@ func (tx *Tx) mut(node int, name string) *fileMut {
 // a schema-width mismatch with the base file or earlier buffered
 // appends, which would indicate a partitioning bug.
 func (tx *Tx) Append(node int, name string, schema []string, rows ...Row) {
+	m := tx.checkSchema(node, name, schema)
+	for _, r := range rows {
+		if len(r) != len(schema) {
+			panic(fmt.Sprintf("dstore: file %q row width %d vs schema %v", name, len(r), schema))
+		}
+		m.cells = append(m.cells, r...)
+	}
+}
+
+// AppendCells buffers one or more rows given as flattened cells (a
+// multiple of the schema width), avoiding any per-row slice
+// allocation. It panics on a schema mismatch like Append.
+func (tx *Tx) AppendCells(node int, name string, schema []string, cells ...rdf.TermID) {
+	m := tx.checkSchema(node, name, schema)
+	if len(schema) == 0 || len(cells)%len(schema) != 0 {
+		panic(fmt.Sprintf("dstore: file %q: %d cells is not a multiple of width %d", name, len(cells), len(schema)))
+	}
+	m.cells = append(m.cells, cells...)
+}
+
+// checkSchema resolves the buffered mutation for a file and verifies
+// the caller's schema width against it.
+func (tx *Tx) checkSchema(node int, name string, schema []string) *fileMut {
 	m := tx.mut(node, name)
 	base := tx.baseSchema(node, name, m)
 	if base != nil && len(base) != len(schema) {
@@ -295,7 +503,7 @@ func (tx *Tx) Append(node int, name string, schema []string, rows ...Row) {
 	if m.schema == nil {
 		m.schema = schema
 	}
-	m.appends = append(m.appends, rows...)
+	return m
 }
 
 // baseSchema resolves the schema a buffered mutation must agree with:
@@ -387,8 +595,8 @@ func (tx *Tx) Commit() *Snapshot {
 	return next
 }
 
-// rowKey encodes a row's cells as a comparable map key.
-func rowKey(r Row) string {
+// cellKey encodes a span of cells as a comparable map key.
+func cellKey(r []rdf.TermID) string {
 	b := make([]byte, 4*len(r))
 	for i, v := range r {
 		binary.LittleEndian.PutUint32(b[4*i:], uint32(v))
@@ -401,16 +609,17 @@ func rowKey(r Row) string {
 // against the base rows first, then against rows appended earlier in
 // the same transaction (append+delete of one row in one Tx nets out);
 // a delete that matches neither panics. The successor's secondary
-// indexes are derived incrementally from old's built ones: append-only
-// successors clone the column maps and extend the touched keys;
-// deleting successors remap surviving row ids in one pass.
+// indexes are derived incrementally from old's built ones: posting
+// lists of surviving rows are carried over (remapped when rows were
+// deleted) and extended with the appended rows' ids, so previously
+// built columns stay warm instead of rebuilding from the slab.
 func applyMut(old *File, name string, m *fileMut) *File {
 	hadDeletes := len(m.deletes) > 0
 	var want map[string]int
 	if hadDeletes {
 		want = make(map[string]int, len(m.deletes))
 		for _, r := range m.deletes {
-			want[rowKey(r)]++
+			want[cellKey(r)]++
 		}
 	}
 
@@ -419,12 +628,12 @@ func applyMut(old *File, name string, m *fileMut) *File {
 	var remap []int32
 	kept := 0
 	if old != nil {
-		kept = len(old.Rows)
+		kept = old.n
 		if hadDeletes {
-			remap = make([]int32, len(old.Rows))
+			remap = make([]int32, old.n)
 			next := int32(0)
-			for i, r := range old.Rows {
-				if k := rowKey(r); want[k] > 0 {
+			for i := 0; i < old.n; i++ {
+				if k := cellKey(old.Row(i)); want[k] > 0 {
 					want[k]--
 					remap[i] = -1
 					continue
@@ -435,22 +644,27 @@ func applyMut(old *File, name string, m *fileMut) *File {
 			kept = int(next)
 		}
 	}
-	appends := m.appends
+	w := len(m.schema)
+	if old != nil {
+		w = len(old.Schema)
+	}
+	cells := m.cells
 	if hadDeletes {
 		left := 0
 		for _, c := range want {
 			left += c
 		}
-		if left > 0 { // leftover deletes consume same-tx appends
-			filtered := make([]Row, 0, len(appends))
-			for _, r := range appends {
-				if k := rowKey(r); want[k] > 0 {
+		if left > 0 && w > 0 { // leftover deletes consume same-tx appends
+			filtered := make([]rdf.TermID, 0, len(cells))
+			for i := 0; i+w <= len(cells); i += w {
+				r := cells[i : i+w]
+				if k := cellKey(r); want[k] > 0 {
 					want[k]--
 					continue
 				}
-				filtered = append(filtered, r)
+				filtered = append(filtered, r...)
 			}
-			appends = filtered
+			cells = filtered
 		}
 		for _, c := range want {
 			if c > 0 {
@@ -463,70 +677,105 @@ func applyMut(old *File, name string, m *fileMut) *File {
 		if m.schema == nil { // drop of a file that never existed
 			return nil
 		}
-		if len(appends) == 0 && hadDeletes {
+		if len(cells) == 0 && hadDeletes {
 			return nil // netted out before it ever existed
 		}
-		return &File{Name: name, Schema: m.schema, Rows: append([]Row(nil), appends...)}
+		return newFile(name, m.schema, append([]rdf.TermID(nil), cells...))
 	}
-	if kept == 0 && len(appends) == 0 && hadDeletes {
+	nApp := len(cells) / w
+	if kept == 0 && nApp == 0 && hadDeletes {
 		return nil // emptied files disappear, like never-loaded ones
 	}
 
-	rows := make([]Row, 0, kept+len(appends))
+	slab := make([]rdf.TermID, 0, (kept+nApp)*w)
 	if remap == nil {
-		rows = append(rows, old.Rows...)
+		slab = append(slab, old.slab...)
 	} else {
-		for i, r := range old.Rows {
+		for i := 0; i < old.n; i++ {
 			if remap[i] >= 0 {
-				rows = append(rows, r)
+				slab = append(slab, old.Row(i)...)
 			}
 		}
 	}
-	rows = append(rows, appends...)
-	nf := &File{Name: name, Schema: old.Schema, Rows: rows}
+	slab = append(slab, cells...)
+	nf := newFile(name, old.Schema, slab)
 	if ix := old.idx.Load(); ix != nil {
-		nf.idx.Store(deriveIndex(ix, remap, kept, appends))
+		nf.idx.Store(deriveIndex(ix, remap, kept, cells, w))
 	}
 	return nf
 }
 
 // deriveIndex carries a predecessor file's built column indexes into
-// its successor. Without deletions the column maps are cloned sharing
-// their id slices (appended ids extend only the clone's slice headers);
-// with deletions surviving ids are remapped through remap in one pass
-// over the index — either way the successor starts with every
-// previously built column warm instead of rebuilding from its rows.
-func deriveIndex(old *fileIndex, remap []int32, kept int, appends []Row) *fileIndex {
-	nix := &fileIndex{cols: make([]map[rdf.TermID][]int32, len(old.cols))}
-	for c, om := range old.cols {
-		if om == nil {
+// its successor on the flat CSR form: per built column, surviving
+// posting entries are counted (remapped through remap when rows were
+// deleted), appended rows' keys are folded in, and the new spans are
+// filled in ascending row order — the successor starts with every
+// previously built column warm, byte-identical to a fresh build.
+func deriveIndex(old *fileIndex, remap []int32, kept int, appCells []rdf.TermID, w int) *fileIndex {
+	nix := &fileIndex{cols: make([]*colIndex, len(old.cols))}
+	nApp := len(appCells) / w
+	for c, oc := range old.cols {
+		if oc == nil {
 			continue
 		}
-		var nm map[rdf.TermID][]int32
-		if remap == nil {
-			nm = make(map[rdf.TermID][]int32, len(om))
-			for k, ids := range om {
-				nm[k] = ids
-			}
-		} else {
-			nm = make(map[rdf.TermID][]int32, len(om))
-			for k, ids := range om {
-				var out []int32
-				for _, id := range ids {
-					if ni := remap[id]; ni >= 0 {
-						out = append(out, ni)
-					}
-				}
-				if out != nil {
-					nm[k] = out
-				}
-			}
-		}
-		for i, r := range appends {
-			k := r[c]
-			nm[k] = append(nm[k], int32(kept+i))
-		}
-		nix.cols[c] = nm
+		nix.cols[c] = deriveColIndex(oc, remap, kept, appCells, w, c, nApp)
 	}
 	return nix
+}
+
+// deriveColIndex derives one column's successor posting lists from the
+// predecessor's plus the mutation, in one pass over the old index and
+// one over the appended cells.
+func deriveColIndex(oc *colIndex, remap []int32, kept int, appCells []rdf.TermID, w, c, nApp int) *colIndex {
+	// Count survivors per old key.
+	surv := make([]int32, len(oc.keys))
+	if remap == nil {
+		for e := range oc.keys {
+			surv[e] = oc.off[e+1] - oc.off[e]
+		}
+	} else {
+		for e := range oc.keys {
+			for _, id := range oc.ids[oc.off[e]:oc.off[e+1]] {
+				if remap[id] >= 0 {
+					surv[e]++
+				}
+			}
+		}
+	}
+	b := newColBuilder(len(oc.keys) + nApp)
+	for e, k := range oc.keys {
+		if surv[e] > 0 {
+			b.add(k, surv[e])
+		}
+	}
+	for j := 0; j < nApp; j++ {
+		b.add(appCells[j*w+c], 1)
+	}
+	ix := b.finish()
+	cur := append([]int32(nil), ix.off[:len(ix.keys)]...)
+	// Surviving old ids first (remap is monotonic, so spans stay
+	// ascending), then appended ids kept+j in order.
+	for e, k := range oc.keys {
+		if surv[e] == 0 {
+			continue
+		}
+		ne := ix.slotOf(k)
+		if remap == nil {
+			copy(ix.ids[cur[ne]:], oc.ids[oc.off[e]:oc.off[e+1]])
+			cur[ne] += surv[e]
+		} else {
+			for _, id := range oc.ids[oc.off[e]:oc.off[e+1]] {
+				if ni := remap[id]; ni >= 0 {
+					ix.ids[cur[ne]] = ni
+					cur[ne]++
+				}
+			}
+		}
+	}
+	for j := 0; j < nApp; j++ {
+		ne := ix.slotOf(appCells[j*w+c])
+		ix.ids[cur[ne]] = int32(kept + j)
+		cur[ne]++
+	}
+	return ix
 }

@@ -19,7 +19,7 @@ func TestStoreBasics(t *testing.T) {
 	n0.Append("f1", []string{"s", "p", "o"}, Row{1, 2, 3}, Row{4, 5, 6})
 	n0.Append("f1", []string{"s", "p", "o"}, Row{7, 8, 9})
 	f, ok := n0.Get("f1")
-	if !ok || len(f.Rows) != 3 {
+	if !ok || f.NumRows() != 3 {
 		t.Fatalf("f1 = %v, %v", f, ok)
 	}
 	if _, ok := n0.Get("missing"); ok {
@@ -129,8 +129,8 @@ func TestIndexDerivedAcrossEpochs(t *testing.T) {
 		t.Errorf("Lookup of deleted row's key = %v, want nil", got)
 	}
 	for _, id := range f3.Lookup(0, 3) {
-		if f3.Rows[id][0] != 3 {
-			t.Errorf("remapped id %d points at row %v", id, f3.Rows[id])
+		if f3.Row(int(id))[0] != 3 {
+			t.Errorf("remapped id %d points at row %v", id, f3.Row(int(id)))
 		}
 	}
 }
@@ -160,7 +160,7 @@ func TestSnapshotIsolation(t *testing.T) {
 	if pinned.TotalRows() != 3 {
 		t.Errorf("pinned snapshot changed: %d rows", pinned.TotalRows())
 	}
-	if f, _ := pinned.Node(0).Get("a"); f != pf || len(f.Rows) != 2 {
+	if f, _ := pinned.Node(0).Get("a"); f != pf || f.NumRows() != 2 {
 		t.Error("pinned file identity or rows changed under a later commit")
 	}
 	if _, ok := pinned.Node(1).Get("b"); !ok {
@@ -171,8 +171,8 @@ func TestSnapshotIsolation(t *testing.T) {
 	if cur.Version() != 2 {
 		t.Errorf("current version = %d, want 2", cur.Version())
 	}
-	if f, _ := cur.Node(0).Get("a"); len(f.Rows) != 3 {
-		t.Errorf("current epoch rows = %d, want 3", len(f.Rows))
+	if f, _ := cur.Node(0).Get("a"); f.NumRows() != 3 {
+		t.Errorf("current epoch rows = %d, want 3", f.NumRows())
 	}
 	if _, ok := cur.Node(1).Get("b"); ok {
 		t.Error("emptied file survived in the new epoch")
@@ -213,17 +213,17 @@ func TestConcurrentAppendDeleteLookup(t *testing.T) {
 				if !lok {
 					continue
 				}
-				if len(lf.Rows) != len(rf.Rows) {
+				if lf.NumRows() != rf.NumRows() {
 					t.Errorf("torn epoch: %d left rows vs %d right rows at version %d",
-						len(lf.Rows), len(rf.Rows), snap.Version())
+						lf.NumRows(), rf.NumRows(), snap.Version())
 					return
 				}
 				// Lock-free indexed lookups stay consistent with the
 				// pinned file's rows.
 				key := rdf.TermID(r%5 + 1)
 				for _, id := range lf.Lookup(0, key) {
-					if lf.Rows[id][0] != key {
-						t.Errorf("Lookup(0,%d) returned row %v", key, lf.Rows[id])
+					if lf.Row(int(id))[0] != key {
+						t.Errorf("Lookup(0,%d) returned row %v", key, lf.Row(int(id)))
 						return
 					}
 				}
@@ -232,8 +232,8 @@ func TestConcurrentAppendDeleteLookup(t *testing.T) {
 	}
 	wg.Wait()
 	lf, _ := s.Current().Node(0).Get("left")
-	if len(lf.Rows) != batches {
-		t.Errorf("final left rows = %d, want %d", len(lf.Rows), batches)
+	if lf.NumRows() != batches {
+		t.Errorf("final left rows = %d, want %d", lf.NumRows(), batches)
 	}
 }
 
@@ -269,7 +269,7 @@ func TestConcurrentDeleteVisibility(t *testing.T) {
 				f, ok := snap.Node(0).Get("f")
 				n := 0
 				if ok {
-					n = len(f.Rows)
+					n = f.NumRows()
 				}
 				if n != 0 && n != len(base) {
 					t.Errorf("torn delete batch: %d rows at version %d", n, snap.Version())
@@ -277,7 +277,7 @@ func TestConcurrentDeleteVisibility(t *testing.T) {
 				}
 				if ok {
 					for _, id := range f.Lookup(1, 2) {
-						if f.Rows[id][1] != 2 {
+						if f.Row(int(id))[1] != 2 {
 							t.Errorf("index/row mismatch at version %d", snap.Version())
 							return
 						}
@@ -311,8 +311,8 @@ func TestConcurrentLookup(t *testing.T) {
 				col := (g + i) % 3
 				id := rdf.TermID(i % 7)
 				for _, r := range f.Lookup(col, id) {
-					if f.Rows[r][col] != id {
-						t.Errorf("Lookup(%d,%d) returned row %d = %v", col, id, r, f.Rows[r])
+					if f.Row(int(r))[col] != id {
+						t.Errorf("Lookup(%d,%d) returned row %d = %v", col, id, r, f.Row(int(r)))
 						return
 					}
 				}
@@ -358,8 +358,8 @@ func TestTxAppendThenDeleteNetsOut(t *testing.T) {
 	tx.DeleteRow(0, "g", Row{3})
 	tx.Commit()
 	f, _ := s.Node(0).Get("f")
-	if len(f.Rows) != 1 || f.Rows[0][0] != 1 {
-		t.Errorf("f rows = %v, want just the base row", f.Rows)
+	if f.NumRows() != 1 || f.Row(0)[0] != 1 {
+		t.Errorf("f rows = %v, want just the base row", f.Slab())
 	}
 	if _, ok := s.Node(0).Get("g"); ok {
 		t.Error("fully netted-out new file exists")

@@ -115,10 +115,77 @@ type Cluster struct {
 	Parallelism int
 	Sequential  bool
 
+	// Scratch, if non-nil, provides reusable shuffle buffers for Run.
+	// A long-lived Scratch (e.g. one owned by a pooled execution
+	// context) amortizes the per-job emit/shuffle buffer allocations
+	// across jobs and executions; nil means per-Run buffers.
+	Scratch *Scratch
+
 	// Jobs lists per-job stats in execution order.
 	Jobs []JobStats
 
 	totalWork float64
+}
+
+// Scratch holds the per-node shuffle buffers one Run draws from: the
+// map phase's emitted records, the routed per-destination records, and
+// the per-phase meters and counters. Buffers are sized on first use and
+// reused (at their high-water capacity) by every subsequent Run handed
+// the same Scratch. A Scratch serves one Run at a time — the worker
+// pool inside Run partitions it per node, but two concurrent Runs must
+// not share one.
+type Scratch struct {
+	emitted  [][]Keyed
+	shuffled [][]Keyed
+	outputs  []int
+	mapM     []Meter
+	shufM    []Meter
+	redM     []Meter
+}
+
+// keyedBufs returns n record buffers, each reset to length zero but
+// keeping its backing array.
+func keyedBufs(store *[][]Keyed, n int) [][]Keyed {
+	b := *store
+	for len(b) < n {
+		b = append(b, nil)
+	}
+	*store = b
+	b = b[:n]
+	for i := range b {
+		b[i] = b[i][:0]
+	}
+	return b
+}
+
+// meterBufs returns n zeroed meters, reusing the backing array.
+func meterBufs(store *[]Meter, n int) []Meter {
+	b := *store
+	if cap(b) < n {
+		b = make([]Meter, n)
+	} else {
+		b = b[:n]
+		for i := range b {
+			b[i] = Meter{}
+		}
+	}
+	*store = b
+	return b
+}
+
+// intBufs returns n zeroed counters, reusing the backing array.
+func intBufs(store *[]int, n int) []int {
+	b := *store
+	if cap(b) < n {
+		b = make([]int, n)
+	} else {
+		b = b[:n]
+		for i := range b {
+			b[i] = 0
+		}
+	}
+	*store = b
+	return b
 }
 
 // NewCluster creates a cluster over the given store.
@@ -178,13 +245,17 @@ func (cl *Cluster) Run(job Job) *Output {
 	out := &Output{PerNode: make([][]Row, n)}
 	stats := JobStats{Name: job.Name, MapOnly: job.Reduce == nil}
 	work := 0.0
+	sc := cl.Scratch
+	if sc == nil {
+		sc = &Scratch{}
+	}
 
 	// Map phase: one task per node. Each task buffers its emissions
 	// node-privately; the shuffle routing happens in the deterministic
 	// merge below.
-	emitted := make([][]Keyed, n) // source node -> emitted records
-	outputs := make([]int, n)     // source node -> rows written
-	meters := make([]Meter, n)
+	emitted := keyedBufs(&sc.emitted, n) // source node -> emitted records
+	outputs := intBufs(&sc.outputs, n)   // source node -> rows written
+	meters := meterBufs(&sc.mapM, n)
 	cl.forEachNode(n, func(node int) {
 		emit := func(k Keyed) {
 			emitted[node] = append(emitted[node], k)
@@ -197,7 +268,7 @@ func (cl *Cluster) Run(job Job) *Output {
 	})
 	// Merge in node order: shuffle destination lists, counters and the
 	// simulated-work sum accumulate exactly as in a sequential sweep.
-	shuffled := make([][]Keyed, n) // destination node -> records
+	shuffled := keyedBufs(&sc.shuffled, n) // destination node -> records
 	for node := 0; node < n; node++ {
 		for _, k := range emitted[node] {
 			dest := k.Key.route(n)
@@ -215,8 +286,8 @@ func (cl *Cluster) Run(job Job) *Output {
 	// Shuffle + reduce phases: again one task per node over the
 	// node-routed records, merged in node order.
 	if job.Reduce != nil {
-		shufMeters := make([]Meter, n)
-		redMeters := make([]Meter, n)
+		shufMeters := meterBufs(&sc.shufM, n)
+		redMeters := meterBufs(&sc.redM, n)
 		for i := range outputs {
 			outputs[i] = 0
 		}

@@ -25,9 +25,9 @@ func TestMapOnlyJob(t *testing.T) {
 			if !ok {
 				return
 			}
-			m.Read(&cl.C, len(f.Rows))
-			for _, r := range f.Rows {
-				out(r)
+			m.Read(&cl.C, f.NumRows())
+			for i := 0; i < f.NumRows(); i++ {
+				out(f.Row(i))
 			}
 		},
 	})

@@ -120,18 +120,17 @@ func LoadWithMode(store *dstore.Store, g *rdf.Graph, mode Mode) *Partitioner {
 func placeBatch(tx *dstore.Tx, v *View, triples []rdf.Triple, mode Mode) {
 	n := v.p.store.N()
 	for _, t := range triples {
-		row := dstore.Row{t.S, t.P, t.O}
 		v.properties[t.P]++
-		tx.Append(NodeFor(t.S, n), FileName(rdf.SPos, t.P, 0), TripleSchema, row)
+		tx.AppendCells(NodeFor(t.S, n), FileName(rdf.SPos, t.P, 0), TripleSchema, t.S, t.P, t.O)
 		if mode == SubjectOnly {
 			continue
 		}
-		tx.Append(NodeFor(t.O, n), FileName(rdf.OPos, t.P, 0), TripleSchema, row)
+		tx.AppendCells(NodeFor(t.O, n), FileName(rdf.OPos, t.P, 0), TripleSchema, t.S, t.P, t.O)
 		if v.typeID != rdf.NoTerm && t.P == v.typeID {
 			v.typeObjects[t.O]++
-			tx.Append(NodeFor(t.P, n), FileName(rdf.PPos, t.P, t.O), TripleSchema, row)
+			tx.AppendCells(NodeFor(t.P, n), FileName(rdf.PPos, t.P, t.O), TripleSchema, t.S, t.P, t.O)
 		} else {
-			tx.Append(NodeFor(t.P, n), FileName(rdf.PPos, t.P, 0), TripleSchema, row)
+			tx.AppendCells(NodeFor(t.P, n), FileName(rdf.PPos, t.P, 0), TripleSchema, t.S, t.P, t.O)
 		}
 	}
 }

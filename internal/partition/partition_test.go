@@ -42,7 +42,8 @@ func TestCoLocationBySubject(t *testing.T) {
 			if name[0] != 's' {
 				continue
 			}
-			for _, row := range f.Rows {
+			for ri := 0; ri < f.NumRows(); ri++ {
+				row := f.Row(ri)
 				if prev, ok := loc[row[0]]; ok && prev != i {
 					t.Fatalf("subject %d on nodes %d and %d", row[0], prev, i)
 				}
@@ -66,7 +67,7 @@ func TestFilesConstantProperty(t *testing.T) {
 	total := 0
 	for i := 0; i < store.N(); i++ {
 		if f, ok := store.Node(i).Get(files[0]); ok {
-			total += len(f.Rows)
+			total += f.NumRows()
 		}
 	}
 	if total != 20 {
@@ -89,7 +90,7 @@ func TestFilesRdfTypeSplit(t *testing.T) {
 	total := 0
 	for i := 0; i < store.N(); i++ {
 		if f, ok := store.Node(i).Get(files[0]); ok {
-			total += len(f.Rows)
+			total += f.NumRows()
 		}
 	}
 	// Classes are i%3 over 20 subjects: Class0 has 7 members.
@@ -162,7 +163,11 @@ func storeState(t *testing.T, s *dstore.Store) map[int]map[string][]dstore.Row {
 		files := make(map[string][]dstore.Row)
 		for _, name := range nv.Names() {
 			f, _ := nv.Get(name)
-			files[name] = f.Rows
+			rows := make([]dstore.Row, f.NumRows())
+			for ri := range rows {
+				rows[ri] = f.Row(ri)
+			}
+			files[name] = rows
 		}
 		out[i] = files
 	}
@@ -254,7 +259,7 @@ func TestViewPinsEpoch(t *testing.T) {
 	oldRows := 0
 	for i := 0; i < store.N(); i++ {
 		if f, ok := old.Node(i).Get(fname); ok {
-			oldRows += len(f.Rows)
+			oldRows += f.NumRows()
 		}
 	}
 
@@ -271,7 +276,7 @@ func TestViewPinsEpoch(t *testing.T) {
 	stillRows := 0
 	for i := 0; i < store.N(); i++ {
 		if f, ok := old.Node(i).Get(fname); ok {
-			stillRows += len(f.Rows)
+			stillRows += f.NumRows()
 		}
 	}
 	if stillRows != oldRows || oldRows != 20 {

@@ -1,16 +1,20 @@
 package physical
 
 import (
+	"cliquesquare/internal/core"
+	"cliquesquare/internal/dstore"
 	"cliquesquare/internal/mapreduce"
+	"cliquesquare/internal/partition"
 	"cliquesquare/internal/rdf"
 )
 
 // ExecContext carries cross-layer execution state threaded from the
 // engine facade down to the per-node workers: the parallelism settings
 // handed to the mapreduce runtime, an optional per-job stats sink, and
-// the reusable per-node scratch arenas the executor's join evaluation
-// draws from. One ExecContext may serve many plan executions; arenas
-// amortize allocations across them.
+// the reusable scratch (per-node arenas, shuffle buffers, plan-shaped
+// intermediate tables) the executor draws from. One ExecContext may
+// serve many plan executions; the scratch amortizes allocations across
+// them. An ExecContext serves one execution at a time.
 type ExecContext struct {
 	// Parallelism bounds the mapreduce worker pool (0 = GOMAXPROCS).
 	Parallelism int
@@ -21,6 +25,15 @@ type ExecContext struct {
 	StatsSink func(mapreduce.JobStats)
 
 	arenas []*arena
+
+	// shuffle is the reusable mapreduce shuffle scratch handed to the
+	// cluster for every job of every execution this context serves.
+	shuffle *mapreduce.Scratch
+
+	// byID and interm are the executor's plan-shaped scratch: infos
+	// dense by ID and, per reduce join, its output rows per node.
+	byID   []*Info
+	interm [][][]mapreduce.Row
 }
 
 // NewExecContext returns a context with the given parallelism degree.
@@ -40,12 +53,55 @@ func (c *ExecContext) ensureNodes(n int) {
 // runs on a single goroutine, so the arena needs no locking.
 func (c *ExecContext) arenaFor(node int) *arena { return c.arenas[node] }
 
+// shuffleScratch returns the context's reusable mapreduce scratch.
+func (c *ExecContext) shuffleScratch() *mapreduce.Scratch {
+	if c.shuffle == nil {
+		c.shuffle = &mapreduce.Scratch{}
+	}
+	return c.shuffle
+}
+
+// infoSlots returns the dense info-by-ID table, zeroed at length n.
+func (c *ExecContext) infoSlots(n int) []*Info {
+	if cap(c.byID) < n {
+		c.byID = make([]*Info, n)
+	} else {
+		c.byID = c.byID[:n]
+		for i := range c.byID {
+			c.byID[i] = nil
+		}
+	}
+	return c.byID
+}
+
+// intermSlots returns the per-info intermediate table at length n.
+// Slots are left as-is (nodeRowBufs resets the ones actually used).
+func (c *ExecContext) intermSlots(n int) [][][]mapreduce.Row {
+	for len(c.interm) < n {
+		c.interm = append(c.interm, nil)
+	}
+	return c.interm[:n]
+}
+
+// nodeRowBufs returns n per-node row buffers, each reset to length
+// zero but keeping its backing array.
+func nodeRowBufs(buf [][]mapreduce.Row, n int) [][]mapreduce.Row {
+	for len(buf) < n {
+		buf = append(buf, nil)
+	}
+	buf = buf[:n]
+	for i := range buf {
+		buf[i] = buf[i][:0]
+	}
+	return buf
+}
+
 // arena is one node's reusable scratch for local evaluation: the join
 // tables, cursor slices and key-cell buffers naryJoin and the shuffle
-// emitters need per call, scan filter scratch, plus a slab allocator
-// for output rows. Scratch buffers are reused across calls; slab rows
-// are never reused (they escape into relations and results), only
-// allocated in large chunks.
+// emitters need per call, scan filter scratch, reduce-group input and
+// accumulation buffers, plus a slab allocator for output rows. Scratch
+// buffers are reused across calls; slab rows are never reused (they
+// escape into relations and results), only allocated in large chunks.
 type arena struct {
 	tables   []*joinTable
 	colIdx   [][]int
@@ -55,26 +111,96 @@ type arena struct {
 	emitCols []int // shuffle-key column indexes, hoisted per relation
 
 	// joinPlans memoizes the schema-derived part of naryJoin (output
-	// schema union, column sources, residual checks) keyed on the
-	// children's schema slice identities.
+	// column sources, residual checks) keyed on the children's schema
+	// and output-attrs slice identities.
 	joinPlans []*joinPlan
 
 	// scan filter scratch (Executor.scan).
 	scanConsts  []constCheck
 	scanRepeats [][2]rdf.Pos
 	scanVarPos  []rdf.Pos
+	scanPlans   []scanFile
+
+	// scan file-name memo: partition-file resolution is pure per
+	// (operator, replica position) within one pinned view, so the
+	// resolved name lists are cached until the view changes.
+	fileView  *partition.View
+	fileNames map[fileKey][]string
+
+	// reduce-phase scratch: per-group join inputs (groupRels), per-info
+	// output accumulation (rjRows) with per-group output counts
+	// (rjCounts), the first-output order of infos (rjOrder), and the
+	// hoisted final-projection columns (projCols).
+	groupRels []relation
+	rjRows    [][]mapreduce.Row
+	rjCounts  [][]int32
+	rjOrder   []int32
+	projCols  []int
+}
+
+// fileKey identifies one scan's file resolution: the (immutable) plan
+// operator plus the replica position it reads.
+type fileKey struct {
+	op  *core.Op
+	pos rdf.Pos
+}
+
+// fileNamesCap bounds the per-arena file-name memo (shapes per pooled
+// context are few; the bound only guards pathological plan churn).
+const fileNamesCap = 1024
+
+// scanFile is one file's planned contribution to a scan: either an
+// index-probed candidate selection vector or a full slab sweep.
+type scanFile struct {
+	f      *dstore.File
+	cand   []int32
+	useIdx bool
+}
+
+// relBuf returns nc reusable group-input relations (rows buffers keep
+// their backing arrays; the caller resets schema and length).
+func (a *arena) relBuf(nc int) []relation {
+	for len(a.groupRels) < nc {
+		a.groupRels = append(a.groupRels, relation{})
+	}
+	return a.groupRels[:nc]
+}
+
+// rjAccum returns the per-info output accumulation buffers at length
+// n, each reset empty.
+func (a *arena) rjAccum(n int) [][]mapreduce.Row {
+	a.rjRows = nodeRowBufs(a.rjRows, n)
+	return a.rjRows
+}
+
+// rjCountBufs returns the per-info group-count buffers at length n,
+// each reset empty.
+func (a *arena) rjCountBufs(n int) [][]int32 {
+	b := a.rjCounts
+	for len(b) < n {
+		b = append(b, nil)
+	}
+	b = b[:n]
+	for i := range b {
+		b[i] = b[i][:0]
+	}
+	a.rjCounts = b
+	return b
 }
 
 // joinPlan is the memoized schema-derived scaffolding of one join
-// shape. Child schema slices come from the immutable physical plan
-// (operator Attrs), so pointer identity implies content equality and
-// the derived slices can be shared by every join of that shape.
+// shape. Child schema and output-attrs slices come from the immutable
+// physical plan (operator Attrs), so pointer identity implies content
+// equality and the derived slices can be shared by every join of that
+// shape. Output columns are resolved directly against the requested
+// attrs, fusing the post-join conform/projection into the join's
+// output write.
 type joinPlan struct {
 	schemas  [][]string // the children's schema slices (identity key)
-	schema   []string
-	srcChild []int
-	srcCol   []int
-	checks   []eqCheck
+	attrs    []string   // the output schema slice (identity key)
+	srcChild []int      // per output attr: providing child...
+	srcCol   []int      // ...and column within it
+	checks   []eqCheck  // residual equality over all shared attrs
 }
 
 // joinPlanCap bounds the memo; reaching it resets the memo (shapes per
@@ -87,11 +213,12 @@ func sameSchema(a, b []string) bool {
 }
 
 // joinPlanFor returns the memoized join scaffolding for the children's
-// schema combination, computing and caching it on first sight.
-func (a *arena) joinPlanFor(children []relation) *joinPlan {
+// schema combination and output attrs, computing and caching it on
+// first sight.
+func (a *arena) joinPlanFor(children []relation, attrs []string) *joinPlan {
 outer:
 	for _, jp := range a.joinPlans {
-		if len(jp.schemas) != len(children) {
+		if len(jp.schemas) != len(children) || !sameSchema(jp.attrs, attrs) {
 			continue
 		}
 		for i := range children {
@@ -103,13 +230,17 @@ outer:
 	}
 	jp := &joinPlan{
 		schemas: make([][]string, len(children)),
-		schema:  unionSchema(children),
+		attrs:   attrs,
 	}
 	for i := range children {
 		jp.schemas[i] = children[i].schema
 	}
-	jp.srcChild, jp.srcCol = columnSources(jp.schema, children)
-	jp.checks = residualChecks(jp.schema, children, jp.srcChild, jp.srcCol)
+	// Residual checks cover every attribute shared by two or more
+	// children, whether or not it survives into attrs.
+	union := unionSchema(children)
+	uChild, uCol := columnSources(union, children)
+	jp.checks = residualChecks(union, children, uChild, uCol)
+	jp.srcChild, jp.srcCol = columnSources(attrs, children)
 	if len(a.joinPlans) >= joinPlanCap {
 		a.joinPlans = a.joinPlans[:0]
 	}
@@ -120,7 +251,9 @@ outer:
 const slabChunk = 8192
 
 // newRow returns a fresh width-w row, drawn from the arena's slab when
-// one is available (a nil arena degrades to a plain allocation).
+// one is available (a nil arena degrades to a plain allocation). Slab
+// rows are handed out exactly once and never recycled, so they may
+// safely escape into results that outlive the arena's next reuse.
 func (a *arena) newRow(w int) mapreduce.Row {
 	if a == nil {
 		return make(mapreduce.Row, w)

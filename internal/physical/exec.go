@@ -80,6 +80,7 @@ func (x *Executor) Execute(pp *Plan) (*Result, error) {
 	x.Ctx.ensureNodes(x.Cluster.N())
 	x.Cluster.Parallelism = x.Ctx.Parallelism
 	x.Cluster.Sequential = x.Ctx.Sequential
+	x.Cluster.Scratch = x.Ctx.shuffleScratch()
 	// Pin one partition epoch for the whole execution: every scan of
 	// every job reads this snapshot, whatever writers commit meanwhile.
 	x.view = x.View
@@ -106,16 +107,19 @@ func (x *Executor) Execute(pp *Plan) (*Result, error) {
 		})
 		finalRows = out.Rows()
 	} else {
-		// interm[info] holds a reduce join's output rows per node,
-		// pre-allocated so empty joins still have empty (not nil)
-		// per-node slices — and so concurrent per-node workers write
-		// disjoint slots of an already-built map.
-		interm := make(map[*Info][][]mapreduce.Row)
-		byID := make(map[int]*Info)
+		// byID resolves infos densely by ID; interm[id] holds a reduce
+		// join's output rows per node, pre-sized so empty joins still
+		// have empty (not nil) per-node slices — and so concurrent
+		// per-node workers write disjoint slots of already-built
+		// tables. Both live in the context and are reused across
+		// executions.
+		nInfo := len(pp.Infos)
+		byID := x.Ctx.infoSlots(nInfo)
+		interm := x.Ctx.intermSlots(nInfo)
 		for _, in := range pp.Infos {
 			byID[in.ID] = in
 			if in.Kind == KindReduceJoin {
-				interm[in] = make([][]mapreduce.Row, x.Cluster.N())
+				interm[in.ID] = nodeRowBufs(interm[in.ID], x.Cluster.N())
 			}
 		}
 		for l, infos := range pp.Levels {
@@ -133,7 +137,7 @@ func (x *Executor) Execute(pp *Plan) (*Result, error) {
 							if ci.Kind == KindReduceJoin {
 								// Map shuffler: re-read the previous
 								// job's output and re-emit re-keyed.
-								rows := interm[ci][node]
+								rows := interm[ci.ID][node]
 								m.Read(&x.Cluster.C, len(rows))
 								m.Write(&x.Cluster.C, len(rows))
 								rel = relation{schema: c.Attrs, rows: rows}
@@ -156,45 +160,69 @@ func (x *Executor) Execute(pp *Plan) (*Result, error) {
 				},
 				Reduce: func(node int, m *mapreduce.Meter, groups *mapreduce.Groups, out func(mapreduce.Row)) {
 					a := x.Ctx.arenaFor(node)
-					// Groups arrive in canonical key order (the seed's
-					// sorted-string order), so the floating-point
-					// metering sums and row order are reproducible.
-					perRJ := make(map[*Info][]relation)
-					var rjOrder []*Info
+					// Per-info accumulation: each group's join output is
+					// appended to its info's single node-local row
+					// buffer, with per-group counts retained so the
+					// final-projection metering below charges groups in
+					// the exact order they were produced. Groups arrive
+					// in canonical key order (the seed's sorted-string
+					// order), so the floating-point metering sums and
+					// row order are reproducible.
+					rjRows := a.rjAccum(nInfo)
+					rjCounts := a.rjCountBufs(nInfo)
+					order := a.rjOrder[:0]
 					groups.Each(func(key *mapreduce.Key, recs []mapreduce.Keyed) {
 						rj := byID[int(key.Group())]
-						rels := make([]relation, len(rj.Op.Children))
+						id := rj.ID
+						rels := a.relBuf(len(rj.Op.Children))
 						for i, c := range rj.Op.Children {
-							rels[i] = relation{schema: c.Attrs}
+							rels[i].schema = c.Attrs
+							rels[i].rows = rels[i].rows[:0]
 						}
 						for ri := range recs {
 							rec := &recs[ri]
 							rels[rec.Tag].rows = append(rels[rec.Tag].rows, rec.Row)
 						}
-						joined, counts := a.naryJoin(rels, rj.Op.JoinAttrs)
+						var counts joinCounts
+						before := len(rjRows[id])
+						rjRows[id], counts = a.naryJoinInto(rjRows[id], rels, rj.Op.JoinAttrs, rj.Op.Attrs)
 						m.Join(&x.Cluster.C, counts.in+counts.out)
 						m.Write(&x.Cluster.C, counts.out)
-						if len(joined.rows) > 0 {
-							if _, ok := perRJ[rj]; !ok {
-								rjOrder = append(rjOrder, rj)
+						if produced := len(rjRows[id]) - before; produced > 0 {
+							if len(rjCounts[id]) == 0 {
+								order = append(order, int32(id))
 							}
-							perRJ[rj] = append(perRJ[rj], conform(a, joined, rj.Op.Attrs))
+							rjCounts[id] = append(rjCounts[id], int32(produced))
 						}
 					})
-					for _, rj := range rjOrder {
+					a.rjOrder = order
+					for _, id32 := range order {
+						id := int(id32)
+						rj := byID[id]
+						rows := rjRows[id]
 						if isLast && rj.Op == pp.Root {
-							for _, rel := range perRJ[rj] {
-								proj := rel.project(a, q.Select)
-								m.Check(&x.Cluster.C, len(proj.rows))
-								for _, r := range proj.rows {
-									out(r)
+							// Final projection onto the SELECT list,
+							// with the columns resolved once and each
+							// group's check charged in group order.
+							rel := relation{schema: rj.Op.Attrs}
+							cols := rel.appendCols(a.projCols[:0], q.Select)
+							a.projCols = cols
+							pos := 0
+							for _, cnt := range rjCounts[id] {
+								grp := rows[pos : pos+int(cnt)]
+								pos += int(cnt)
+								m.Check(&x.Cluster.C, len(grp))
+								for _, row := range grp {
+									nr := a.newRow(len(cols))
+									for i, c := range cols {
+										nr[i] = row[c]
+									}
+									out(nr)
 								}
 							}
 							continue
 						}
-						for _, rel := range perRJ[rj] {
-							interm[rj][node] = append(interm[rj][node], rel.rows...)
-						}
+						interm[id][node] = append(interm[id][node], rows...)
 					}
 				},
 			})
@@ -234,10 +262,10 @@ func (x *Executor) evalLocal(pp *Plan, op *core.Op, node int, m *mapreduce.Meter
 		for i, c := range op.Children {
 			children[i] = x.evalLocal(pp, c, node, m, op.JoinAttrs[0], a)
 		}
-		joined, counts := a.naryJoin(children, op.JoinAttrs)
+		rows, counts := a.naryJoinInto(nil, children, op.JoinAttrs, op.Attrs)
 		m.Join(&x.Cluster.C, counts.in+counts.out)
 		m.Write(&x.Cluster.C, counts.out)
-		return conform(a, joined, op.Attrs)
+		return relation{schema: op.Attrs, rows: rows}
 	}
 	panic(fmt.Sprintf("physical: evalLocal on %v", op.Kind))
 }
@@ -249,14 +277,37 @@ type constCheck struct {
 	id  rdf.TermID
 }
 
+// scanFileNames resolves the partition files a scan must read through
+// the arena's per-view memo: resolution is pure per (operator, replica
+// position) within one pinned view, so repeated executions through a
+// pooled context skip the name formatting entirely.
+func (x *Executor) scanFileNames(a *arena, op *core.Op, tp sparql.TriplePattern, pos rdf.Pos) []string {
+	if a.fileView != x.view || len(a.fileNames) > fileNamesCap {
+		a.fileView = x.view
+		if a.fileNames == nil {
+			a.fileNames = make(map[fileKey][]string)
+		} else {
+			clear(a.fileNames)
+		}
+	}
+	k := fileKey{op: op, pos: pos}
+	names, ok := a.fileNames[k]
+	if !ok {
+		names = x.view.Files(tp, pos, x.Dict)
+		a.fileNames[k] = names
+	}
+	return names
+}
+
 // scan reads one triple pattern's matching tuples from this node's
 // replica partitioned on coVar's position (Section 5.1 file layout),
 // applying the pattern's constant and repeated-variable filters.
-// Constant-bound patterns probe the dstore's secondary hash indexes
-// (the most selective constant's row-id list) instead of filtering the
-// file row by row; the metering is unchanged — the simulated Hadoop
-// mapper still reads and checks the whole file, the index only spares
-// the simulator's own CPU.
+// Constant-bound patterns probe the dstore's CSR posting-list indexes
+// (the most selective constant's row-id selection vector) instead of
+// filtering the file row by row; unconstrained scans sweep the file's
+// contiguous cell slab directly. The metering is unchanged either way
+// — the simulated Hadoop mapper still reads and checks the whole file,
+// the index only spares the simulator's own CPU.
 func (x *Executor) scan(pp *Plan, op *core.Op, node int, m *mapreduce.Meter, coVar string, a *arena) relation {
 	tp := pp.Logical.Query.Patterns[op.Pattern]
 	pos := x.Part.ScanPos(scanPosition(tp, coVar))
@@ -304,61 +355,84 @@ func (x *Executor) scan(pp *Plan, op *core.Op, node int, m *mapreduce.Meter, coV
 
 	nd := x.view.Node(node)
 	needCheck := len(consts) > 0 || len(repeats) > 0
-	emitRow := func(t rdf.Triple) bool {
-		for _, cc := range consts {
-			if t.At(cc.pos) != cc.id {
-				return false
-			}
-		}
-		for _, rp := range repeats {
-			if t.At(rp[0]) != t.At(rp[1]) {
-				return false
-			}
-		}
-		outRow := a.newRow(len(varPos))
-		for i, p := range varPos {
-			outRow[i] = t.At(p)
-		}
-		rel.rows = append(rel.rows, outRow)
-		return true
-	}
-	for _, fname := range x.view.Files(tp, pos, x.Dict) {
+
+	// Plan phase: meter every file and resolve its access path — an
+	// index-probed selection vector for the most selective non-property
+	// constant, or a full slab sweep — so the gather below can presize
+	// the output in one allocation. A property constant is never probed:
+	// partition files hold a single property, so its index would be one
+	// entry listing every row (the filters below still re-check it,
+	// cheaply).
+	plans := a.scanPlans[:0]
+	total := 0
+	for _, fname := range x.scanFileNames(a, op, tp, pos) {
 		f, ok := nd.Get(fname)
 		if !ok {
 			continue
 		}
-		m.Read(&x.Cluster.C, len(f.Rows))
+		m.Read(&x.Cluster.C, f.NumRows())
 		if needCheck {
-			m.Check(&x.Cluster.C, len(f.Rows))
+			m.Check(&x.Cluster.C, f.NumRows())
 		}
-		// Indexed scan: probe the most selective constant's index,
-		// then verify the remaining filters on the candidates. A
-		// property constant is never probed — partition files hold a
-		// single property, so its index would be one entry listing
-		// every row (emitRow still re-checks it, cheaply).
-		var cand []int32
-		useIdx := false
+		sf := scanFile{f: f}
 		for _, cc := range consts {
 			if cc.pos == rdf.PPos {
 				continue
 			}
 			ids := f.Lookup(int(cc.pos), cc.id)
-			if !useIdx || len(ids) < len(cand) {
-				cand, useIdx = ids, true
+			if !sf.useIdx || len(ids) < len(sf.cand) {
+				sf.cand, sf.useIdx = ids, true
 			}
-			if len(cand) == 0 {
+			if len(sf.cand) == 0 {
 				break
 			}
 		}
-		if useIdx {
-			for _, ri := range cand {
-				row := f.Rows[ri]
-				emitRow(rdf.Triple{S: row[0], P: row[1], O: row[2]})
-			}
-			continue
+		if sf.useIdx {
+			total += len(sf.cand)
+		} else {
+			total += f.NumRows()
 		}
-		for _, row := range f.Rows {
-			emitRow(rdf.Triple{S: row[0], P: row[1], O: row[2]})
+		plans = append(plans, sf)
+	}
+	a.scanPlans = plans
+	if total == 0 {
+		return rel
+	}
+
+	// Gather phase: filter candidates and extract the variable columns
+	// into slab-backed output rows (one presized row-header buffer).
+	rel.rows = make([]mapreduce.Row, 0, total)
+	w := len(varPos)
+next:
+	for _, sf := range plans {
+		slab := sf.f.Slab()
+		fw := sf.f.Width()
+		emit := func(c []rdf.TermID) {
+			for _, cc := range consts {
+				if c[cc.pos] != cc.id {
+					return
+				}
+			}
+			for _, rp := range repeats {
+				if c[rp[0]] != c[rp[1]] {
+					return
+				}
+			}
+			outRow := a.newRow(w)
+			for i, p := range varPos {
+				outRow[i] = c[p]
+			}
+			rel.rows = append(rel.rows, outRow)
+		}
+		if sf.useIdx {
+			for _, ri := range sf.cand {
+				base := int(ri) * fw
+				emit(slab[base : base+fw])
+			}
+			continue next
+		}
+		for base := 0; base+fw <= len(slab); base += fw {
+			emit(slab[base : base+fw])
 		}
 	}
 	return rel
@@ -381,24 +455,4 @@ func scanPosition(tp sparql.TriplePattern, coVar string) rdf.Pos {
 		}
 	}
 	return rdf.SPos
-}
-
-// conform projects a join output onto the operator's declared schema.
-// Without projection push-down the two coincide (the union of the
-// children's schemas); after core.PushProjections the operator schema
-// may be narrower.
-func conform(a *arena, rel relation, attrs []string) relation {
-	if len(rel.schema) == len(attrs) {
-		same := true
-		for i := range attrs {
-			if rel.schema[i] != attrs[i] {
-				same = false
-				break
-			}
-		}
-		if same {
-			return rel
-		}
-	}
-	return rel.project(a, attrs)
 }

@@ -39,24 +39,24 @@ type joinCounts struct {
 	in, out int
 }
 
-// naryJoin computes the n-ary equality join of children on joinAttrs,
-// additionally enforcing equality on every attribute shared by two or
-// more children (the folded residual selection). The output schema is
-// the sorted union of the child schemas. Every child but the first is
-// indexed in an arena-owned open-addressing joinTable keyed directly
-// on the rows' join cells (no per-row key string); the first child's
-// rows stream through, probing each table with one precomputed hash.
-// Output rows come from the arena's slab; the schema union, column
-// sources and residual checks come from the arena's join-plan memo
-// (they depend only on the child schemas, which repeat across the
-// thousands of per-group joins of one reduce phase).
-func (a *arena) naryJoin(children []relation, joinAttrs []string) (relation, joinCounts) {
+// naryJoinInto computes the n-ary equality join of children on
+// joinAttrs, additionally enforcing equality on every attribute shared
+// by two or more children (the folded residual selection), and appends
+// the output rows — written directly in attrs column order, fusing the
+// post-join projection — to dst. Every child but the first is indexed
+// in an arena-owned open-addressing joinTable keyed directly on the
+// rows' join cells (no per-row key string); the first child's rows
+// stream through, probing each table with one precomputed hash. Output
+// rows come from the arena's slab; the column sources and residual
+// checks come from the arena's join-plan memo (they depend only on the
+// child schemas and attrs, which repeat across the thousands of
+// per-group joins of one reduce phase).
+func (a *arena) naryJoinInto(dst []mapreduce.Row, children []relation, joinAttrs, attrs []string) ([]mapreduce.Row, joinCounts) {
 	var counts joinCounts
 	if len(children) == 0 {
-		return relation{schema: unionSchema(children)}, counts
+		return dst, counts
 	}
-	jp := a.joinPlanFor(children)
-	out := relation{schema: jp.schema}
+	jp := a.joinPlanFor(children, attrs)
 	nc := len(children)
 	a.grow(nc)
 
@@ -71,6 +71,7 @@ func (a *arena) naryJoin(children []relation, joinAttrs []string) (relation, joi
 
 	srcChild, srcCol := jp.srcChild, jp.srcCol
 	checks := jp.checks
+	w := len(attrs)
 
 	// Stream the first child: every row whose key is present in all
 	// other children produces the consistent combinations of the
@@ -99,11 +100,11 @@ func (a *arena) naryJoin(children []relation, joinAttrs []string) (relation, joi
 					return
 				}
 			}
-			row := a.newRow(len(out.schema))
-			for i := range out.schema {
+			row := a.newRow(w)
+			for i := 0; i < w; i++ {
 				row[i] = group[srcChild[i]][srcCol[i]]
 			}
-			out.rows = append(out.rows, row)
+			dst = append(dst, row)
 			counts.out++
 		})
 	}
@@ -116,7 +117,7 @@ func (a *arena) naryJoin(children []relation, joinAttrs []string) (relation, joi
 		lists[i] = nil
 		group[i] = nil
 	}
-	return out, counts
+	return dst, counts
 }
 
 // combine enumerates the cross product of lists[i:], filling group in

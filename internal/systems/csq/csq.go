@@ -64,16 +64,6 @@ type Config struct {
 	// is approximate: sharding rounds it up to the next multiple of the
 	// shard count (see plancache.New).
 	PlanCacheSize int
-	// ReplanDriftThreshold tunes how plan-cache revalidation reacts to
-	// data updates. 0 (the default) re-runs cost-based plan choice over
-	// the retained candidate set whenever the data version moved, which
-	// keeps cached executions byte-identical to a freshly planned run.
-	// A positive value allows a cheaper check first: if the cached
-	// plan's modeled cost under the new statistics drifted by at most
-	// this relative fraction since it was last chosen, the plan is kept
-	// without re-choosing (results stay correct; only the plan choice
-	// may lag the statistics).
-	ReplanDriftThreshold float64
 }
 
 // DefaultConfig mirrors the paper's setup: 7 nodes, MSC.
@@ -191,6 +181,23 @@ func (e *Engine) ApplyBatch(inserts, deletes []rdf.Triple) BatchResult {
 	}
 	v := e.part.ApplyBatch(ins, dels, e.graph.Dict)
 	e.batches.Add(1)
+	if e.cache != nil {
+		// Fold the effective delta into every cached plan's retained
+		// statistics so their next revalidation re-costs candidates in
+		// O(|delta| × patterns) instead of rescanning the graph. Entries
+		// whose statistics already trail (they raced their insertion
+		// against an earlier batch) are skipped; their next use rebuilds
+		// statistics once and rejoins the incremental path.
+		ver := v.Version()
+		e.cache.Range(func(_ string, ent *cacheEntry) {
+			ent.statsMu.Lock()
+			if ent.stats != nil && ent.statsVersion == ver-1 {
+				ent.stats.Apply(e.graph.Dict, ins, dels)
+				ent.statsVersion = ver
+			}
+			ent.statsMu.Unlock()
+		})
+	}
 	return BatchResult{Inserted: len(ins), Deleted: len(dels), DataVersion: v.Version()}
 }
 
@@ -220,9 +227,10 @@ type planOutcome struct {
 	chosen  *core.Plan // after projection push-down
 	pp      *physical.Plan
 	res     *core.Result
-	idx     int     // index of the winner within res.Unique
-	cost    float64 // its modeled cost at selection time
-	version uint64  // data version the statistics were read at
+	idx     int         // index of the winner within res.Unique
+	cost    float64     // its modeled cost at selection time
+	stats   *cost.Stats // the statistics the choice was made under
+	version uint64      // data version the statistics were read at
 }
 
 // statsModel reads the cardinality statistics for q together with the
@@ -258,7 +266,7 @@ func (e *Engine) plan(q *sparql.Query) (*planOutcome, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &planOutcome{chosen: chosen, pp: pp, res: res, idx: idx, cost: c, version: version}, nil
+	return &planOutcome{chosen: chosen, pp: pp, res: res, idx: idx, cost: c, stats: model.S, version: version}, nil
 }
 
 // finishPlan applies projection push-down, compiles the physical plan

@@ -1,11 +1,11 @@
 package csq
 
 import (
-	"math"
 	"sync"
 	"sync/atomic"
 
 	"cliquesquare/internal/core"
+	"cliquesquare/internal/cost"
 	"cliquesquare/internal/physical"
 	"cliquesquare/internal/plancache"
 	"cliquesquare/internal/sparql"
@@ -72,14 +72,8 @@ func retain(unique []*core.Plan) []*core.Plan {
 	return unique
 }
 
-// Prepare optimizes, selects and compiles q into an immutable Prepared
-// plan, without consulting the plan cache. This is the plan-once half
-// of the plan-once/execute-many split; ExecutePrepared is the other.
-func (e *Engine) Prepare(q *sparql.Query) (*Prepared, error) {
-	out, err := e.plan(q)
-	if err != nil {
-		return nil, err
-	}
+// newPrepared wraps one planning outcome as an immutable Prepared.
+func newPrepared(q *sparql.Query, out *planOutcome) *Prepared {
 	return &Prepared{
 		Query:         q,
 		Logical:       out.chosen,
@@ -91,15 +85,48 @@ func (e *Engine) Prepare(q *sparql.Query) (*Prepared, error) {
 		unique:        retain(out.res.Unique),
 		chosenIdx:     out.idx,
 		chosenCost:    out.cost,
-	}, nil
+	}
+}
+
+// Prepare optimizes, selects and compiles q into an immutable Prepared
+// plan, without consulting the plan cache. This is the plan-once half
+// of the plan-once/execute-many split; ExecutePrepared is the other.
+func (e *Engine) Prepare(q *sparql.Query) (*Prepared, error) {
+	out, err := e.plan(q)
+	if err != nil {
+		return nil, err
+	}
+	return newPrepared(q, out), nil
 }
 
 // cacheEntry is one plan-cache slot: the current validated Prepared,
 // swapped atomically when revalidation refreshes or replaces it, plus a
-// mutex so concurrent revalidations of the same entry run once.
+// mutex so concurrent revalidations of the same entry run once. The
+// entry also retains the query's cardinality statistics with the data
+// version they describe: ApplyBatch folds each committed delta into
+// them in place (O(|delta| × patterns)), so revalidation re-costs the
+// candidate set without ever rescanning the graph.
 type cacheEntry struct {
 	mu  sync.Mutex
 	cur atomic.Pointer[Prepared]
+
+	// statsMu guards stats and statsVersion. It is taken by ApplyBatch
+	// (while holding the engine's state write lock) and by revalidation
+	// (while holding ent.mu); holders never acquire the state lock or
+	// ent.mu, so the ordering is acyclic.
+	statsMu      sync.Mutex
+	stats        *cost.Stats
+	statsVersion uint64
+}
+
+// stashStats records freshly built statistics on the entry unless a
+// newer delta push already advanced them.
+func (ent *cacheEntry) stashStats(st *cost.Stats, version uint64) {
+	ent.statsMu.Lock()
+	if ent.stats == nil || version >= ent.statsVersion {
+		ent.stats, ent.statsVersion = st, version
+	}
+	ent.statsMu.Unlock()
 }
 
 // PrepareCached returns the prepared plan for q's cache key, planning
@@ -117,10 +144,10 @@ type cacheEntry struct {
 // Entries are tagged with the data version whose statistics chose
 // them. A hit whose tag trails the current epoch is revalidated before
 // being served: the entry's retained candidate set is re-costed under
-// fresh statistics (plans survive epochs — only the stats-derived cost
-// choice can change), re-compiling only when a different candidate now
-// wins, so post-update cached executions remain byte-identical to
-// freshly planned ones. Config.ReplanDriftThreshold relaxes this.
+// the entry's incrementally maintained statistics (plans survive epochs
+// — only the stats-derived cost choice can change), re-compiling only
+// when a different candidate now wins, so post-update cached executions
+// remain byte-identical to freshly planned ones.
 func (e *Engine) PrepareCached(q *sparql.Query) (p *Prepared, hit bool, err error) {
 	// Validate up front: the uncached path rejects malformed queries in
 	// the optimizer, and an unvalidated query must not be able to
@@ -134,12 +161,13 @@ func (e *Engine) PrepareCached(q *sparql.Query) (p *Prepared, hit bool, err erro
 	}
 	key := sparql.Canonicalize(q).Key + "\x00" + q.Name
 	ent, hit, err := e.cache.Do(key, func() (*cacheEntry, error) {
-		p, err := e.Prepare(q)
+		out, err := e.plan(q)
 		if err != nil {
 			return nil, err
 		}
+		p := newPrepared(q, out)
 		p.Fingerprint = key
-		ent := &cacheEntry{}
+		ent := &cacheEntry{stats: out.stats, statsVersion: out.version}
 		ent.cur.Store(p)
 		return ent, nil
 	})
@@ -157,7 +185,7 @@ func (e *Engine) PrepareCached(q *sparql.Query) (p *Prepared, hit bool, err erro
 	if p = ent.cur.Load(); p.DataVersion == e.DataVersion() {
 		return p, hit, nil
 	}
-	np, err := e.revalidate(p)
+	np, err := e.revalidate(ent, p)
 	if err != nil {
 		return nil, false, err
 	}
@@ -166,37 +194,39 @@ func (e *Engine) PrepareCached(q *sparql.Query) (p *Prepared, hit bool, err erro
 }
 
 // revalidate re-checks a cached plan against the current epoch's
-// cardinality statistics. With a positive drift threshold, a cached
-// choice whose modeled cost moved little is kept without re-choosing;
-// otherwise the retained candidate set is re-costed and the winner
-// recompiled if it changed (entries whose candidate set was too large
-// to retain re-enumerate the plan space instead — same deterministic
-// outcome, bounded memory). The refreshed Prepared shares every
-// surviving component with the old one (old holders keep executing it
-// safely).
-func (e *Engine) revalidate(p *Prepared) (*Prepared, error) {
+// cardinality statistics: the retained candidate set is re-costed under
+// the entry's delta-maintained statistics and the winner recompiled if
+// it changed. Entries whose statistics missed a delta (or whose
+// candidate set was too large to retain) fall back to a fresh
+// statistics build (or full re-enumeration) — same deterministic
+// outcome, the incremental path is purely a fast path. The refreshed
+// Prepared shares every surviving component with the old one (old
+// holders keep executing it safely).
+func (e *Engine) revalidate(ent *cacheEntry, p *Prepared) (*Prepared, error) {
 	e.revalidations.Add(1)
 	if p.unique == nil {
-		np, err := e.Prepare(p.Query)
+		out, err := e.plan(p.Query)
 		if err != nil {
 			return nil, err
 		}
+		np := newPrepared(p.Query, out)
 		if np.Logical.Signature() != p.Logical.Signature() {
 			e.replans.Add(1)
 		}
 		np.Fingerprint = p.Fingerprint
+		ent.stashStats(out.stats, out.version)
 		return np, nil
 	}
-	model, version := e.statsModel(p.Query)
-	if d := e.cfg.ReplanDriftThreshold; d > 0 {
-		nc := model.PlanCost(p.unique[p.chosenIdx])
-		if relDrift(nc, p.chosenCost) <= d {
-			np := *p
-			np.DataVersion = version
-			return &np, nil
-		}
+	idx, c, version, ok := e.chooseIncremental(ent, p.unique)
+	if !ok {
+		// The entry's statistics trail the current epoch (the entry
+		// raced its insertion against a batch): rebuild them once; every
+		// later batch maintains them in place.
+		model, v := e.statsModel(p.Query)
+		_, idx, c = model.ChooseIndexed(p.unique)
+		version = v
+		ent.stashStats(model.S, v)
 	}
-	best, idx, c := model.ChooseIndexed(p.unique)
 	if idx == p.chosenIdx {
 		np := *p
 		np.DataVersion = version
@@ -204,7 +234,7 @@ func (e *Engine) revalidate(p *Prepared) (*Prepared, error) {
 		return &np, nil
 	}
 	e.replans.Add(1)
-	chosen, pp, err := e.finishPlan(best)
+	chosen, pp, err := e.finishPlan(p.unique[idx])
 	if err != nil {
 		return nil, err
 	}
@@ -223,15 +253,21 @@ func (e *Engine) revalidate(p *Prepared) (*Prepared, error) {
 	}, nil
 }
 
-// relDrift is the relative change from old to new modeled cost.
-func relDrift(new, old float64) float64 {
-	if old == 0 {
-		if new == 0 {
-			return 0
-		}
-		return math.Inf(1)
+// chooseIncremental re-runs cost-based choice over the retained
+// candidate set using the entry's delta-maintained statistics. It holds
+// the entry's stats lock across the costing so a concurrent ApplyBatch
+// cannot mutate the statistics mid-read; it never acquires the engine
+// state lock. ok is false when the statistics are absent or trail the
+// current data version (the caller then rebuilds them).
+func (e *Engine) chooseIncremental(ent *cacheEntry, unique []*core.Plan) (idx int, c float64, version uint64, ok bool) {
+	ent.statsMu.Lock()
+	defer ent.statsMu.Unlock()
+	if ent.stats == nil || ent.statsVersion != e.DataVersion() {
+		return 0, 0, 0, false
 	}
-	return math.Abs(new-old) / old
+	model := cost.NewModel(e.cfg.Constants, ent.stats)
+	_, idx, c = model.ChooseIndexed(unique)
+	return idx, c, ent.statsVersion, true
 }
 
 // ExecutePrepared runs a prepared plan on a fresh cluster clock. Many

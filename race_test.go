@@ -1,0 +1,5 @@
+//go:build race
+
+package cliquesquare
+
+func init() { raceEnabled = true }
