@@ -31,6 +31,7 @@ import (
 	"cliquesquare/internal/sparql"
 	"cliquesquare/internal/systems/csq"
 	"cliquesquare/internal/vargraph"
+	"cliquesquare/internal/wal"
 )
 
 // Graph is an in-memory RDF dataset (re-exported from the rdf package).
@@ -74,7 +75,41 @@ type Options struct {
 	// identical results and statistics — the cache only removes
 	// repeated optimizer work.
 	PlanCacheSize int
+	// Durable, when non-nil, attaches a write-ahead log: every applied
+	// batch is fsynced (group-committed) before it is acknowledged,
+	// and Open recovers the engine after a crash. Nil keeps the
+	// original in-memory engine.
+	Durable *DurableOptions
 }
+
+// DurableOptions configures the write-ahead log of a durable engine.
+type DurableOptions struct {
+	// Dir is the log directory (required).
+	Dir string
+	// GroupMaxOps caps how many concurrent ApplyBatch callers one
+	// group commit coalesces; 0 means 64.
+	GroupMaxOps int
+	// GroupMaxWait is how long the group-commit batcher holds an open
+	// group for more callers before flushing; 0 adds no latency
+	// (groups still form naturally while an fsync is in flight).
+	GroupMaxWait time.Duration
+	// CheckpointBytes is the WAL-bytes threshold that triggers a
+	// background checkpoint + log truncation; 0 means 8 MiB, negative
+	// disables automatic checkpoints (manual Compact still works).
+	CheckpointBytes int64
+}
+
+func (o *DurableOptions) wal() wal.Options {
+	return wal.Options{
+		Dir:             o.Dir,
+		GroupMaxOps:     o.GroupMaxOps,
+		GroupMaxWait:    o.GroupMaxWait,
+		CheckpointBytes: o.CheckpointBytes,
+	}
+}
+
+// ErrClosed is returned by queries and updates on a closed engine.
+var ErrClosed = csq.ErrClosed
 
 // Engine evaluates queries over a partitioned dataset.
 type Engine struct {
@@ -83,8 +118,47 @@ type Engine struct {
 }
 
 // NewEngine partitions g over a simulated cluster and returns an
-// engine ready to answer queries.
+// engine ready to answer queries. With Options.Durable set, a fresh
+// write-ahead log is initialized in its directory (it is an error if
+// one already exists there — recover that with Open instead).
 func NewEngine(g *Graph, opts Options) (*Engine, error) {
+	cfg, err := opts.config()
+	if err != nil {
+		return nil, err
+	}
+	if opts.Durable != nil {
+		inner, err := csq.NewDurable(g, cfg, opts.Durable.wal())
+		if err != nil {
+			return nil, err
+		}
+		return &Engine{inner: inner, dict: g.Dict}, nil
+	}
+	return &Engine{inner: csq.New(g, cfg), dict: g.Dict}, nil
+}
+
+// Open recovers a durable engine from the write-ahead log in
+// opts.Durable.Dir: the dataset is rebuilt from the newest valid
+// checkpoint plus every batch fsynced after it (torn tails from a
+// crash are truncated), and the recovered engine answers queries
+// exactly as the pre-crash engine did, with epoch numbers continuing
+// where they left off.
+func Open(opts Options) (*Engine, error) {
+	if opts.Durable == nil {
+		return nil, fmt.Errorf("cliquesquare: Open requires Options.Durable")
+	}
+	cfg, err := opts.config()
+	if err != nil {
+		return nil, err
+	}
+	inner, err := csq.OpenDurable(cfg, opts.Durable.wal())
+	if err != nil {
+		return nil, err
+	}
+	return &Engine{inner: inner, dict: inner.Graph().Dict}, nil
+}
+
+// config resolves the facade options into an engine config.
+func (opts Options) config() (csq.Config, error) {
 	cfg := csq.DefaultConfig()
 	if opts.Nodes > 0 {
 		cfg.Nodes = opts.Nodes
@@ -92,7 +166,7 @@ func NewEngine(g *Graph, opts Options) (*Engine, error) {
 	if opts.Method != "" {
 		m, err := vargraph.ParseMethod(opts.Method)
 		if err != nil {
-			return nil, err
+			return cfg, err
 		}
 		cfg.Method = m
 	}
@@ -105,8 +179,29 @@ func NewEngine(g *Graph, opts Options) (*Engine, error) {
 		cfg.Parallelism = opts.Parallelism
 	}
 	cfg.PlanCacheSize = opts.PlanCacheSize
-	return &Engine{inner: csq.New(g, cfg), dict: g.Dict}, nil
+	return cfg, nil
 }
+
+// Close shuts the engine down: the group-commit queue is flushed
+// (every already-accepted batch is still committed and acknowledged),
+// the WAL is synced and closed. After Close, queries and updates
+// return ErrClosed. Close is idempotent; on a non-durable engine it
+// only marks the engine closed.
+func (e *Engine) Close() error { return e.inner.Close() }
+
+// Compact forces a checkpoint and write-ahead-log garbage collection
+// now, instead of waiting for the byte threshold. No-op on a
+// non-durable engine.
+func (e *Engine) Compact() error { return e.inner.Compact() }
+
+// DurabilityStats is a snapshot of WAL and group-commit activity
+// (re-exported from the csq engine).
+type DurabilityStats = csq.DurabilityStats
+
+// DurabilityStats snapshots the durable subsystem's activity: records
+// and bytes logged, fsyncs, checkpoints, files garbage-collected, the
+// log directory's live bytes, and group-commit coalescing counters.
+func (e *Engine) DurabilityStats() DurabilityStats { return e.inner.DurabilityStats() }
 
 // Result is a decoded query answer plus execution statistics.
 type Result struct {
@@ -211,7 +306,7 @@ func (e *Engine) ApplyBatch(b *Batch) (BatchResult, error) {
 			del = append(del, rdf.Triple{S: s, P: p, O: o})
 		}
 	}
-	return e.inner.ApplyBatch(ins, del), nil
+	return e.inner.ApplyBatch(ins, del)
 }
 
 // Insert applies a single-triple insertion batch.

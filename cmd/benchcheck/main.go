@@ -10,11 +10,17 @@
 // Usage:
 //
 //	benchcheck -baseline BENCH_pr2.json -new BENCH_pr6.json [-ns-slack 0.30]
+//	benchcheck -churn BENCH_pr7.json [-max-write-amp 20]
 //
 // Benchmarks present only in the baseline are ignored (old benchmarks
 // may be retired); benchmarks present only in the new file pass (no
 // baseline to regress against). The comparison table is printed either
 // way.
+//
+// The second form gates a churn metrics file (the csq-bench -exp=churn
+// JSON report) instead of go test -json output: the equivalence oracle
+// must have passed, and for a durable run the crash-recovery oracle
+// must have passed and write amplification must stay under the bound.
 package main
 
 import (
@@ -129,11 +135,67 @@ func pct(new, old float64) string {
 	return fmt.Sprintf("%+.1f%%", 100*(new-old)/old)
 }
 
+// churnReport is the subset of the csq-bench churn JSON the gate
+// reads. Pointers distinguish "absent" from "false": the oracles must
+// be present and true, and recovery fields are demanded only of
+// durable runs.
+type churnReport struct {
+	EquivalenceOK *bool    `json:"equivalence_ok"`
+	Durable       bool     `json:"durable"`
+	RecoveryOK    *bool    `json:"recovery_ok"`
+	RecoveryMs    float64  `json:"recovery_ms"`
+	WriteAmp      *float64 `json:"write_amp"`
+}
+
+// checkChurn gates one churn metrics file and exits non-zero on any
+// violated invariant.
+func checkChurn(path string, maxWriteAmp float64) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchcheck: %v\n", err)
+		os.Exit(2)
+	}
+	var r churnReport
+	if err := json.Unmarshal(data, &r); err != nil {
+		fmt.Fprintf(os.Stderr, "benchcheck: %s: %v\n", path, err)
+		os.Exit(2)
+	}
+	failed := false
+	check := func(ok bool, format string, args ...any) {
+		verdict := "ok"
+		if !ok {
+			verdict = "FAIL"
+			failed = true
+		}
+		fmt.Printf("%s  %s\n", verdict, fmt.Sprintf(format, args...))
+	}
+	check(r.EquivalenceOK != nil && *r.EquivalenceOK, "fresh-engine equivalence oracle")
+	if r.Durable {
+		check(r.RecoveryOK != nil && *r.RecoveryOK, "crash-recovery oracle")
+		check(r.RecoveryMs > 0, "recovery time measured (%.1f ms)", r.RecoveryMs)
+		if r.WriteAmp != nil {
+			check(*r.WriteAmp <= maxWriteAmp, "write amplification %.2fx within %.1fx bound", *r.WriteAmp, maxWriteAmp)
+		} else {
+			check(false, "write amplification missing from a durable run")
+		}
+	}
+	if failed {
+		fmt.Fprintf(os.Stderr, "benchcheck: %s violates churn invariants\n", path)
+		os.Exit(1)
+	}
+}
+
 func main() {
 	baselinePath := flag.String("baseline", "", "baseline results (go test -json), e.g. the committed BENCH_pr2.json")
 	newPath := flag.String("new", "", "new results (go test -json) to check against the baseline")
 	nsSlack := flag.Float64("ns-slack", 0.30, "allowed relative ns/op regression before failing (0.30 = 30%)")
+	churnPath := flag.String("churn", "", "churn metrics JSON to gate (csq-bench -exp=churn -out); replaces -baseline/-new")
+	maxWriteAmp := flag.Float64("max-write-amp", 20, "with -churn: maximum allowed durable write amplification")
 	flag.Parse()
+	if *churnPath != "" {
+		checkChurn(*churnPath, *maxWriteAmp)
+		return
+	}
 	if *baselinePath == "" || *newPath == "" {
 		fmt.Fprintln(os.Stderr, "benchcheck: -baseline and -new are required")
 		flag.Usage()

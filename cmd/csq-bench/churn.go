@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"os"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"cliquesquare"
@@ -43,6 +44,26 @@ type churnMetrics struct {
 	// over the churned engine answered identically to a fresh engine
 	// built from the final graph.
 	EquivalenceOK bool `json:"equivalence_ok"`
+
+	// Durable mode only (-wal): write-ahead-log activity, write
+	// amplification (WAL + checkpoint bytes per logical byte changed),
+	// and the crash-recovery measurement — the engine is abandoned
+	// without Close and reopened from the log alone.
+	Durable            bool    `json:"durable,omitempty"`
+	GroupCommits       uint64  `json:"group_commits,omitempty"`
+	GroupedCallers     uint64  `json:"grouped_callers,omitempty"`
+	WALRecords         uint64  `json:"wal_records,omitempty"`
+	WALSyncs           uint64  `json:"wal_syncs,omitempty"`
+	WALAppendedBytes   int64   `json:"wal_appended_bytes,omitempty"`
+	WALCheckpointBytes int64   `json:"wal_checkpoint_bytes,omitempty"`
+	WALLiveBytes       int64   `json:"wal_live_bytes,omitempty"`
+	LogicalBytes       int64   `json:"logical_bytes,omitempty"`
+	WriteAmp           float64 `json:"write_amp,omitempty"`
+	RecoveryMs         float64 `json:"recovery_ms,omitempty"`
+	// RecoveryOK reports the crash-recovery oracle: the reopened
+	// engine resumed at the pre-crash epoch and answered every
+	// workload query identically to the pre-crash engine.
+	RecoveryOK bool `json:"recovery_ok,omitempty"`
 }
 
 // churn drives one engine with -clients reader goroutines (the serving
@@ -50,12 +71,25 @@ type churnMetrics struct {
 // disjoint slices of the dataset in -batch-sized atomic batches. It
 // reports read QPS and latency under write pressure, write throughput,
 // answer staleness in epochs, plan-cache revalidation activity, and a
-// final equivalence check against a freshly loaded engine.
-func churn(cc experiments.ClusterConfig, clients, requests, writers, batchSize int, outPath string) error {
-	fmt.Printf("== Churn: %d readers x %d requests vs %d writers, batch %d (LUBM, %d universities, %d nodes) ==\n",
-		clients, requests, writers, batchSize, cc.Universities, cc.Nodes)
+// final equivalence check against a freshly loaded engine. With walDir
+// set the engine runs durably (every batch group-committed to a
+// write-ahead log there), and the run additionally measures write
+// amplification and crash recovery: the engine is abandoned without
+// Close and reopened from the log, which must reproduce the exact
+// pre-crash epoch and answers.
+func churn(cc experiments.ClusterConfig, clients, requests, writers, batchSize int, walDir, outPath string) error {
+	mode := "in-memory"
+	if walDir != "" {
+		mode = "durable"
+	}
+	fmt.Printf("== Churn (%s): %d readers x %d requests vs %d writers, batch %d (LUBM, %d universities, %d nodes) ==\n",
+		mode, clients, requests, writers, batchSize, cc.Universities, cc.Nodes)
 	g := lubm.Generate(lubm.DefaultConfig(cc.Universities))
-	eng, err := cliquesquare.NewEngine(g, cliquesquare.Options{Nodes: cc.Nodes})
+	engOpts := cliquesquare.Options{Nodes: cc.Nodes}
+	if walDir != "" {
+		engOpts.Durable = &cliquesquare.DurableOptions{Dir: walDir}
+	}
+	eng, err := cliquesquare.NewEngine(g, engOpts)
 	if err != nil {
 		return err
 	}
@@ -89,17 +123,18 @@ func churn(cc experiments.ClusterConfig, clients, requests, writers, batchSize i
 	}
 
 	var (
-		stop       = make(chan struct{})
-		writeMu    sync.Mutex
-		writeLat   []time.Duration
-		writersWG  sync.WaitGroup
-		readersWG  sync.WaitGroup
-		readMu     sync.Mutex
-		readLat    []time.Duration
-		staleSum   uint64
-		staleMax   uint64
-		staleReads uint64
-		runErr     error
+		stop         = make(chan struct{})
+		logicalBytes atomic.Int64
+		writeMu      sync.Mutex
+		writeLat     []time.Duration
+		writersWG    sync.WaitGroup
+		readersWG    sync.WaitGroup
+		readMu       sync.Mutex
+		readLat      []time.Duration
+		staleSum     uint64
+		staleMax     uint64
+		staleReads   uint64
+		runErr       error
 	)
 	fail := func(err error) {
 		readMu.Lock()
@@ -118,10 +153,14 @@ func churn(cc experiments.ClusterConfig, clients, requests, writers, batchSize i
 			deleted := false
 			apply := func(b *cliquesquare.Batch) bool {
 				t0 := time.Now()
-				if _, err := eng.ApplyBatch(b); err != nil {
+				br, err := eng.ApplyBatch(b)
+				if err != nil {
 					fail(err)
 					return false
 				}
+				// 12 bytes per effective triple change (3 TermID cells):
+				// the denominator of write amplification.
+				logicalBytes.Add(int64(br.Inserted+br.Deleted) * 12)
 				d := time.Since(t0)
 				writeMu.Lock()
 				writeLat = append(writeLat, d)
@@ -205,11 +244,13 @@ func churn(cc experiments.ClusterConfig, clients, requests, writers, batchSize i
 		return err
 	}
 	equivalent := true
+	preAnswers := make(map[string]*cliquesquare.Result, len(qs))
 	for _, q := range qs {
 		got, err := eng.Run(q)
 		if err != nil {
 			return err
 		}
+		preAnswers[q.Name] = got
 		want, err := fresh.Run(q)
 		if err != nil {
 			return err
@@ -262,6 +303,65 @@ func churn(cc experiments.ClusterConfig, clients, requests, writers, batchSize i
 		m.StalenessMean = float64(staleSum) / float64(staleReads)
 	}
 
+	if walDir != "" {
+		ds := eng.DurabilityStats()
+		m.Durable = true
+		m.GroupCommits = ds.Groups
+		m.GroupedCallers = ds.GroupedCallers
+		m.WALRecords = ds.Log.Records
+		m.WALSyncs = ds.Log.Syncs
+		m.WALAppendedBytes = ds.Log.AppendedBytes
+		m.WALCheckpointBytes = ds.Log.CheckpointBytes
+		m.WALLiveBytes = ds.LiveBytes
+		m.LogicalBytes = logicalBytes.Load()
+		if m.LogicalBytes > 0 {
+			m.WriteAmp = float64(m.WALAppendedBytes+m.WALCheckpointBytes) / float64(m.LogicalBytes)
+		}
+
+		// Simulated crash: the engine is abandoned without Close (no
+		// final checkpoint, no clean shutdown) and recovered from the
+		// log alone. The reopened engine must resume at the pre-crash
+		// epoch and answer the whole workload identically.
+		preVer := eng.DataVersion()
+		t0 := time.Now()
+		rec, err := cliquesquare.Open(engOpts)
+		if err != nil {
+			return fmt.Errorf("crash recovery: %w", err)
+		}
+		m.RecoveryMs = float64(time.Since(t0).Microseconds()) / 1000
+		m.RecoveryOK = true
+		if rec.DataVersion() != preVer {
+			m.RecoveryOK = false
+			fmt.Printf("RECOVERY FAILURE: reopened at epoch %d, crashed at %d\n", rec.DataVersion(), preVer)
+		}
+		for _, q := range qs {
+			got, err := rec.Run(q)
+			if err != nil {
+				return err
+			}
+			pre := preAnswers[q.Name]
+			same := got.SimulatedTime == pre.SimulatedTime && got.Jobs == pre.Jobs && len(got.Rows) == len(pre.Rows)
+			if same {
+			rows:
+				for i := range got.Rows {
+					for j := range got.Rows[i] {
+						if got.Rows[i][j] != pre.Rows[i][j] {
+							same = false
+							break rows
+						}
+					}
+				}
+			}
+			if !same {
+				m.RecoveryOK = false
+				fmt.Printf("RECOVERY FAILURE %s: recovered answer diverges from the pre-crash engine\n", q.Name)
+			}
+		}
+		if err := rec.Close(); err != nil {
+			return err
+		}
+	}
+
 	w := tw()
 	fmt.Fprintf(w, "reads\t%d (%.0f QPS)\n", m.Requests, m.ReadQPS)
 	fmt.Fprintf(w, "read latency p50/p95/p99\t%.3f / %.3f / %.3f ms\n", m.P50Ms, m.P95Ms, m.P99Ms)
@@ -270,12 +370,22 @@ func churn(cc experiments.ClusterConfig, clients, requests, writers, batchSize i
 	fmt.Fprintf(w, "plan cache\t%d hits, %d misses; %d revalidations, %d replans\n",
 		m.CacheHits, m.CacheMisses, m.Revalidations, m.Replans)
 	fmt.Fprintf(w, "fresh-engine equivalence\t%v\n", m.EquivalenceOK)
+	if m.Durable {
+		fmt.Fprintf(w, "group commits\t%d for %d callers (mean group %.2f, %d fsyncs)\n",
+			m.GroupCommits, m.GroupedCallers, float64(m.GroupedCallers)/float64(max(m.GroupCommits, 1)), m.WALSyncs)
+		fmt.Fprintf(w, "write amplification\t%.2fx (%d WAL + %d checkpoint bytes over %d logical)\n",
+			m.WriteAmp, m.WALAppendedBytes, m.WALCheckpointBytes, m.LogicalBytes)
+		fmt.Fprintf(w, "crash recovery\t%.1f ms to epoch parity, oracle %v\n", m.RecoveryMs, m.RecoveryOK)
+	}
 	fmt.Fprintln(w)
 	if err := w.Flush(); err != nil {
 		return err
 	}
 	if !m.EquivalenceOK {
 		return fmt.Errorf("churned engine diverged from a fresh load")
+	}
+	if m.Durable && !m.RecoveryOK {
+		return fmt.Errorf("crash recovery diverged from the pre-crash engine")
 	}
 
 	if outPath != "" {

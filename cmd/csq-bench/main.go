@@ -45,6 +45,7 @@ func main() {
 	requests := flag.Int("requests", 100, "serving/churn: requests per reader (across the query mix)")
 	writers := flag.Int("writers", 2, "churn: concurrent writer goroutines")
 	batch := flag.Int("batch", 200, "churn: max triples per update batch")
+	walDir := flag.String("wal", "", "churn: write-ahead-log directory; enables durable mode with write-amplification and crash-recovery measurement")
 	out := flag.String("out", "", "serving/churn: write metrics JSON to this file")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the selected experiments to this file")
 	memprofile := flag.String("memprofile", "", "write an allocation profile taken after the experiments to this file")
@@ -102,7 +103,7 @@ func main() {
 	run("plans", func() error { return plans(cc) })
 	run("systems", func() error { return systemsCmp(cc) })
 	run("serving", func() error { return serving(cc, *clients, *requests, *out) })
-	run("churn", func() error { return churn(cc, *clients, *requests, *writers, *batch, *out) })
+	run("churn", func() error { return churn(cc, *clients, *requests, *writers, *batch, *walDir, *out) })
 }
 
 func tw() *tabwriter.Writer {

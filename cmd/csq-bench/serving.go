@@ -55,8 +55,8 @@ func serving(cc experiments.ClusterConfig, clients, requests int, outPath string
 	}
 	perClient := make([][]sample, clients)
 	var (
-		mu      sync.Mutex
-		answers = make(map[string]int) // query -> row count of first answer
+		mu       sync.Mutex
+		answers  = make(map[string]int) // query -> row count of first answer
 		mismatch error
 	)
 	start := time.Now()

@@ -390,11 +390,20 @@ type Store struct {
 
 // NewStore creates a store with n empty nodes at version 0.
 func NewStore(n int) *Store {
+	return NewStoreAt(n, 0)
+}
+
+// NewStoreAt creates a store with n empty nodes whose initial snapshot
+// carries the given version. Crash recovery uses it to re-load a
+// reconstructed graph so the first commit lands on the exact epoch the
+// durable log recovered through, keeping epoch numbers continuous
+// across restarts.
+func NewStoreAt(n int, version uint64) *Store {
 	if n <= 0 {
 		panic("dstore: store needs at least one node")
 	}
 	s := &Store{handles: make([]*Node, n)}
-	snap := &Snapshot{nodes: make([]map[string]*File, n)}
+	snap := &Snapshot{version: version, nodes: make([]map[string]*File, n)}
 	for i := range s.handles {
 		s.handles[i] = &Node{ID: i, store: s}
 		snap.nodes[i] = make(map[string]*File)

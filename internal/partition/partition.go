@@ -69,6 +69,14 @@ type Partitioner struct {
 
 	writeMu sync.Mutex
 	cur     atomic.Pointer[View]
+
+	// pinMu guards pins, a refcount per pinned epoch. The Go runtime
+	// already reclaims unpinned snapshots; the registry exists so the
+	// durable engine's compactor knows the oldest epoch a concurrent
+	// execution still reads (the watermark) and keeps the WAL
+	// generations that can reconstruct it.
+	pinMu sync.Mutex
+	pins  map[uint64]int
 }
 
 // View is one published epoch of the partitioned dataset: a dstore
@@ -198,6 +206,44 @@ func (p *Partitioner) ApplyBatch(inserts, deletes []rdf.Triple, dict *rdf.Dict) 
 
 // Current pins the latest published view (one atomic load).
 func (p *Partitioner) Current() *View { return p.cur.Load() }
+
+// Pin registers v's epoch as in use by a reader until the matching
+// Unpin, and returns v for chaining. The epoch registry feeds
+// Watermark; pinning does not affect which view Current publishes.
+func (p *Partitioner) Pin(v *View) *View {
+	p.pinMu.Lock()
+	defer p.pinMu.Unlock()
+	if p.pins == nil {
+		p.pins = make(map[uint64]int)
+	}
+	p.pins[v.Version()]++
+	return v
+}
+
+// Unpin releases one Pin of v's epoch.
+func (p *Partitioner) Unpin(v *View) {
+	p.pinMu.Lock()
+	defer p.pinMu.Unlock()
+	ver := v.Version()
+	if p.pins[ver]--; p.pins[ver] <= 0 {
+		delete(p.pins, ver)
+	}
+}
+
+// Watermark reports the oldest epoch any reader still has pinned, or
+// the current epoch when nothing is pinned. Durable-log GC keeps every
+// generation at or above the watermark.
+func (p *Partitioner) Watermark() uint64 {
+	p.pinMu.Lock()
+	defer p.pinMu.Unlock()
+	min := p.cur.Load().Version()
+	for ver := range p.pins {
+		if ver < min {
+			min = ver
+		}
+	}
+	return min
+}
 
 // Mode reports the replication scheme in use.
 func (p *Partitioner) Mode() Mode { return p.mode }

@@ -71,6 +71,44 @@ func (d *Dict) Len() int {
 	return len(d.terms)
 }
 
+// Install assigns id to t during WAL replay. IDs must arrive densely:
+// id is either already assigned (then t must match what it maps to —
+// the call is an idempotent no-op, as when a checkpoint and the first
+// records after it overlap) or exactly the next free ID. Anything else
+// means the log disagrees with the dictionary being rebuilt.
+func (d *Dict) Install(id TermID, t Term) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	switch {
+	case id == NoTerm:
+		return fmt.Errorf("rdf: install of reserved id 0 (%v)", t)
+	case int(id) <= len(d.terms):
+		if got := d.terms[id-1]; got != t {
+			return fmt.Errorf("rdf: install id %d: already %v, log says %v", id, got, t)
+		}
+		return nil
+	case int(id) == len(d.terms)+1:
+		d.terms = append(d.terms, t)
+		d.ids[t.key()] = id
+		return nil
+	default:
+		return fmt.Errorf("rdf: install id %d leaves a gap (next free is %d)", id, len(d.terms)+1)
+	}
+}
+
+// TermsAfter returns a copy of the terms with IDs greater than after,
+// in ID order (so TermsAfter(0) is the whole dictionary and the first
+// returned term has ID after+1). The WAL logs exactly this slice with
+// each batch so recovery can reproduce ID assignment.
+func (d *Dict) TermsAfter(after TermID) []Term {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	if int(after) >= len(d.terms) {
+		return nil
+	}
+	return append([]Term(nil), d.terms[after:]...)
+}
+
 // EncodeIRI is shorthand for Encode(NewIRI(v)).
 func (d *Dict) EncodeIRI(v string) TermID { return d.Encode(NewIRI(v)) }
 

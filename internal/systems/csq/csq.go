@@ -107,6 +107,12 @@ type Engine struct {
 	batches       atomic.Uint64
 	revalidations atomic.Uint64
 	replans       atomic.Uint64
+
+	// closed flips once on Close; every entry point then returns
+	// ErrClosed. dur is the durable subsystem (WAL + group commit +
+	// compactor), nil on an in-memory engine.
+	closed atomic.Bool
+	dur    *durableState
 }
 
 // New partitions g across the configured cluster and returns the
@@ -142,6 +148,9 @@ type BatchResult struct {
 	Inserted, Deleted int
 	// DataVersion is the epoch the batch committed as.
 	DataVersion uint64
+	// Commit carries the group-commit stage timings on a durable
+	// engine (zero value otherwise).
+	Commit CommitStats
 }
 
 // ApplyBatch applies deletes then inserts to the dataset as one atomic
@@ -154,7 +163,20 @@ type BatchResult struct {
 // (the returned DataVersion is the current one). Concurrent queries
 // keep executing against their pinned epochs; cached plans revalidate
 // lazily on next use.
-func (e *Engine) ApplyBatch(inserts, deletes []rdf.Triple) BatchResult {
+//
+// On a durable engine the batch is routed through the group-commit
+// batcher: it is acknowledged only after its WAL record is fsynced,
+// possibly sharing that fsync — and its epoch — with concurrent
+// callers (see BatchResult.Commit). ApplyBatch on a closed engine
+// returns ErrClosed; a WAL failure surfaces here and leaves the
+// in-memory state untouched.
+func (e *Engine) ApplyBatch(inserts, deletes []rdf.Triple) (BatchResult, error) {
+	if e.closed.Load() {
+		return BatchResult{}, ErrClosed
+	}
+	if e.dur != nil {
+		return e.dur.apply(inserts, deletes)
+	}
 	e.stateMu.Lock()
 	defer e.stateMu.Unlock()
 	var dels []rdf.Triple
@@ -177,7 +199,7 @@ func (e *Engine) ApplyBatch(inserts, deletes []rdf.Triple) BatchResult {
 	if len(ins) == 0 && len(dels) == 0 {
 		// Nothing effectively changed: committing an epoch anyway would
 		// only force every cached plan through a spurious revalidation.
-		return BatchResult{DataVersion: e.DataVersion()}
+		return BatchResult{DataVersion: e.DataVersion()}, nil
 	}
 	v := e.part.ApplyBatch(ins, dels, e.graph.Dict)
 	e.batches.Add(1)
@@ -198,7 +220,7 @@ func (e *Engine) ApplyBatch(inserts, deletes []rdf.Triple) BatchResult {
 			ent.statsMu.Unlock()
 		})
 	}
-	return BatchResult{Inserted: len(ins), Deleted: len(dels), DataVersion: v.Version()}
+	return BatchResult{Inserted: len(ins), Deleted: len(dels), DataVersion: v.Version()}, nil
 }
 
 // UpdateStats is a snapshot of the engine's update/revalidation
@@ -248,6 +270,9 @@ func (e *Engine) statsModel(q *sparql.Query) (*cost.Model, uint64) {
 // plan optimizes q, selects the cheapest plan under current statistics
 // and compiles it.
 func (e *Engine) plan(q *sparql.Query) (*planOutcome, error) {
+	if e.closed.Load() {
+		return nil, ErrClosed
+	}
 	res, err := core.Optimize(q, core.Options{
 		Method:           e.cfg.Method,
 		MaxPlans:         e.cfg.MaxPlans,
@@ -320,15 +345,23 @@ func (e *Engine) execContext() *physical.ExecContext {
 // batches committing meanwhile are invisible to it, and the result's
 // DataVersion reports the epoch served.
 func (e *Engine) ExecutePlan(pp *physical.Plan) (*physical.Result, error) {
+	if e.closed.Load() {
+		return nil, ErrClosed
+	}
 	ctx := e.execContext()
 	defer e.ctxPool.Put(ctx)
+	// Pin the epoch in the partitioner's registry for the duration:
+	// the durable compactor's watermark then never garbage-collects
+	// the WAL generation this execution is reading.
+	view := e.part.Pin(e.part.Current())
+	defer e.part.Unpin(view)
 	cl := mapreduce.NewCluster(e.store, e.cfg.Constants)
 	x := &physical.Executor{
 		Cluster: cl,
 		Part:    e.part,
 		Dict:    e.graph.Dict,
 		Ctx:     ctx,
-		View:    e.part.Current(),
+		View:    view,
 	}
 	return x.Execute(pp)
 }

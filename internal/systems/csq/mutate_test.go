@@ -88,7 +88,10 @@ func TestIncrementalMatchesFreshEngine(t *testing.T) {
 	rounds := 4
 	for round := 1; round <= rounds; round++ {
 		ins, dels := randomBatch(rng, g, round)
-		br := eng.ApplyBatch(ins, dels)
+		br, err := eng.ApplyBatch(ins, dels)
+		if err != nil {
+			t.Fatalf("round %d: apply: %v", round, err)
+		}
 		if br.DataVersion != uint64(1+round) {
 			t.Fatalf("round %d committed as version %d", round, br.DataVersion)
 		}
@@ -187,10 +190,15 @@ func TestConcurrentChurnSnapshotIsolation(t *testing.T) {
 		<-started // let readers observe the load epoch first
 		for b := 1; b <= batches; b++ {
 			var br BatchResult
+			var err error
 			if b%2 == 1 {
-				br = eng.ApplyBatch(ins, nil)
+				br, err = eng.ApplyBatch(ins, nil)
 			} else {
-				br = eng.ApplyBatch(nil, ins)
+				br, err = eng.ApplyBatch(nil, ins)
+			}
+			if err != nil {
+				t.Errorf("batch %d: apply: %v", b, err)
+				return
 			}
 			if br.DataVersion != uint64(b+1) {
 				t.Errorf("batch %d committed as version %d", b, br.DataVersion)
@@ -275,7 +283,9 @@ func TestRevalidationKeepsPlanAcrossEpochs(t *testing.T) {
 	ins := []rdf.Triple{{
 		S: g.Dict.EncodeIRI("urn:x"), P: g.Dict.EncodeIRI("urn:y"), O: g.Dict.EncodeIRI("urn:z"),
 	}}
-	eng.ApplyBatch(ins, nil)
+	if _, err := eng.ApplyBatch(ins, nil); err != nil {
+		t.Fatal(err)
+	}
 	p2, hit, err := eng.PrepareCached(q)
 	if err != nil {
 		t.Fatal(err)

@@ -155,6 +155,9 @@ func (e *Engine) PrepareCached(q *sparql.Query) (p *Prepared, hit bool, err erro
 	if err := q.Validate(); err != nil {
 		return nil, false, err
 	}
+	if e.closed.Load() {
+		return nil, false, ErrClosed
+	}
 	if e.cache == nil {
 		p, err = e.Prepare(q)
 		return p, false, err

@@ -1,0 +1,384 @@
+package wal
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"io"
+	"path"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// ErrCrashed is returned by every MemFS operation after an injected
+// crash: the simulated machine is down until Reboot.
+var ErrCrashed = errors.New("wal: simulated crash")
+
+// ErrInjected is the error returned by an injected (non-crash) fault,
+// e.g. a failing fsync on a healthy machine.
+var ErrInjected = errors.New("wal: injected fault")
+
+// CrashMode selects how much of the volatile state an injected crash
+// preserves, modeling the undefined durability of writes that were
+// never fsynced.
+type CrashMode uint8
+
+const (
+	// CrashDrop loses everything since the last sync, including the
+	// operation that triggered the crash (power cut before the write
+	// reached the device).
+	CrashDrop CrashMode = iota
+	// CrashTorn persists a prefix (half) of each file's unsynced bytes:
+	// the torn-write case recovery must truncate.
+	CrashTorn
+	// CrashAll persists all unsynced bytes (the device had flushed its
+	// cache even though fsync never returned).
+	CrashAll
+)
+
+// String names the mode.
+func (m CrashMode) String() string {
+	switch m {
+	case CrashDrop:
+		return "drop"
+	case CrashTorn:
+		return "torn"
+	case CrashAll:
+		return "all"
+	}
+	return fmt.Sprintf("CrashMode(%d)", uint8(m))
+}
+
+// CrashModes lists every mode, for matrix tests.
+var CrashModes = []CrashMode{CrashDrop, CrashTorn, CrashAll}
+
+// memFile models one file as a durable prefix plus bytes written since
+// the last sync. Reads (recovery) observe durable+pending while the
+// machine is up — like the OS page cache — and only the durable part
+// plus whatever the crash preserved after a reboot.
+type memFile struct {
+	durable []byte
+	pending []byte
+}
+
+func (f *memFile) visible() []byte {
+	out := make([]byte, 0, len(f.durable)+len(f.pending))
+	out = append(out, f.durable...)
+	return append(out, f.pending...)
+}
+
+// MemFS is an in-memory FS with fault injection, for crash-matrix
+// tests. Every mutating operation (write, sync, create, rename,
+// remove, truncate, dir sync) counts as one fault point; SetCrashAt
+// arms a crash at the n-th point, after which all operations fail with
+// ErrCrashed until Reboot drops the unsynced state (per the armed
+// CrashMode) and brings the filesystem back up.
+//
+// MemFS is safe for concurrent use.
+type MemFS struct {
+	mu    sync.Mutex
+	files map[string]*memFile
+
+	ops       int // mutating operations performed so far
+	crashAt   int // crash when ops reaches this count; 0 = disarmed
+	crashMode CrashMode
+	down      bool
+
+	failSyncAt int // n-th Sync (file or dir) returns ErrInjected; 0 = off
+	syncs      int
+}
+
+// NewMemFS returns an empty in-memory filesystem with no faults armed.
+func NewMemFS() *MemFS {
+	return &MemFS{files: make(map[string]*memFile)}
+}
+
+// SetCrashAt arms a crash at the n-th mutating operation from now
+// (1 = the very next one), with the given durability mode. n <= 0
+// disarms.
+func (fs *MemFS) SetCrashAt(n int, mode CrashMode) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	if n <= 0 {
+		fs.crashAt = 0
+		return
+	}
+	fs.crashAt = fs.ops + n
+	fs.crashMode = mode
+}
+
+// FailSyncAt arms the n-th Sync or SyncDir from now (1 = the next) to
+// fail with ErrInjected without crashing. n <= 0 disarms.
+func (fs *MemFS) FailSyncAt(n int) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	if n <= 0 {
+		fs.failSyncAt = 0
+		return
+	}
+	fs.failSyncAt = fs.syncs + n
+}
+
+// Ops reports the number of mutating operations performed, so a
+// fault-free rehearsal run can size a crash matrix.
+func (fs *MemFS) Ops() int {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	return fs.ops
+}
+
+// Down reports whether a crash has been triggered and Reboot not yet
+// called.
+func (fs *MemFS) Down() bool {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	return fs.down
+}
+
+// CrashNow triggers a crash immediately (outside any operation), with
+// the given durability mode applied to unsynced bytes.
+func (fs *MemFS) CrashNow(mode CrashMode) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	fs.crashMode = mode
+	fs.crashLocked()
+}
+
+// Reboot brings a crashed filesystem back up. Unsynced bytes were
+// already resolved (kept, torn or dropped) when the crash fired.
+func (fs *MemFS) Reboot() {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	fs.down = false
+	fs.crashAt = 0
+}
+
+// crashLocked resolves every file's pending bytes per the armed mode
+// and takes the filesystem down.
+func (fs *MemFS) crashLocked() {
+	for _, f := range fs.files {
+		keep := 0
+		switch fs.crashMode {
+		case CrashTorn:
+			keep = (len(f.pending) + 1) / 2
+		case CrashAll:
+			keep = len(f.pending)
+		}
+		f.durable = append(f.durable, f.pending[:keep]...)
+		f.pending = nil
+	}
+	fs.down = true
+}
+
+// op charges one fault point. It returns ErrCrashed when the machine
+// is down or the armed crash fires on this operation; apply is invoked
+// (still under the lock) only when the operation proceeds — except in
+// CrashTorn/CrashAll modes with applyOnCrash set, where the crashing
+// operation itself is applied first so a prefix of it can survive
+// (writes land in pending bytes for crashLocked to fold; metadata ops
+// model "the change reached disk before the cut"). Sync passes
+// applyOnCrash=false: an fsync the crash interrupts must not promote
+// anything itself — the armed mode alone decides what pending data
+// survives.
+func (fs *MemFS) op(apply func(), applyOnCrash bool) error {
+	if fs.down {
+		return ErrCrashed
+	}
+	fs.ops++
+	if fs.crashAt != 0 && fs.ops >= fs.crashAt {
+		if applyOnCrash && fs.crashMode != CrashDrop {
+			apply()
+		}
+		fs.crashLocked()
+		return ErrCrashed
+	}
+	apply()
+	return nil
+}
+
+func (fs *MemFS) MkdirAll(string) error {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	if fs.down {
+		return ErrCrashed
+	}
+	return nil // directories are implicit
+}
+
+func (fs *MemFS) Create(name string) (File, error) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	err := fs.op(func() { fs.files[clean(name)] = &memFile{} }, true)
+	if err != nil {
+		return nil, err
+	}
+	return &memHandle{fs: fs, name: clean(name)}, nil
+}
+
+func (fs *MemFS) OpenAppend(name string) (File, error) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	if fs.down {
+		return nil, ErrCrashed
+	}
+	if fs.files[clean(name)] == nil {
+		if err := fs.op(func() { fs.files[clean(name)] = &memFile{} }, true); err != nil {
+			return nil, err
+		}
+	}
+	return &memHandle{fs: fs, name: clean(name)}, nil
+}
+
+func (fs *MemFS) Open(name string) (io.ReadCloser, error) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	if fs.down {
+		return nil, ErrCrashed
+	}
+	f := fs.files[clean(name)]
+	if f == nil {
+		return nil, fmt.Errorf("wal: memfs: open %s: file does not exist", name)
+	}
+	return io.NopCloser(bytes.NewReader(f.visible())), nil
+}
+
+func (fs *MemFS) ReadDir(dir string) ([]FileInfo, error) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	if fs.down {
+		return nil, ErrCrashed
+	}
+	prefix := clean(dir) + "/"
+	var out []FileInfo
+	for name, f := range fs.files {
+		if rest, ok := strings.CutPrefix(name, prefix); ok && !strings.Contains(rest, "/") {
+			out = append(out, FileInfo{Name: rest, Size: int64(len(f.visible()))})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out, nil
+}
+
+func (fs *MemFS) Rename(oldname, newname string) error {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	return fs.op(func() {
+		if f := fs.files[clean(oldname)]; f != nil {
+			fs.files[clean(newname)] = f
+			delete(fs.files, clean(oldname))
+		}
+	}, true)
+}
+
+func (fs *MemFS) Remove(name string) error {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	return fs.op(func() { delete(fs.files, clean(name)) }, true)
+}
+
+func (fs *MemFS) Truncate(name string, size int64) error {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	return fs.op(func() {
+		f := fs.files[clean(name)]
+		if f == nil {
+			return
+		}
+		vis := f.visible()
+		if int64(len(vis)) > size {
+			f.durable = vis[:size]
+			f.pending = nil
+		}
+	}, true)
+}
+
+func (fs *MemFS) SyncDir(string) error {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	if err := fs.failSync(); err != nil {
+		return err
+	}
+	// Directory metadata (create/rename/remove) is applied durably in
+	// this model; the sync itself is still a crash point.
+	return fs.op(func() {}, false)
+}
+
+// failSync charges one sync and reports the injected fsync error when
+// armed.
+func (fs *MemFS) failSync() error {
+	if fs.down {
+		return ErrCrashed
+	}
+	fs.syncs++
+	if fs.failSyncAt != 0 && fs.syncs >= fs.failSyncAt {
+		fs.failSyncAt = 0
+		return ErrInjected
+	}
+	return nil
+}
+
+// DurableBytes returns the bytes of name that would survive a crash
+// right now (synced data only), for assertions.
+func (fs *MemFS) DurableBytes(name string) []byte {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	f := fs.files[clean(name)]
+	if f == nil {
+		return nil
+	}
+	return append([]byte(nil), f.durable...)
+}
+
+func clean(name string) string { return path.Clean(strings.ReplaceAll(name, "\\", "/")) }
+
+// memHandle is an open MemFS file. Writes buffer as unsynced pending
+// bytes; Sync promotes them to durable.
+type memHandle struct {
+	fs     *MemFS
+	name   string
+	closed bool
+}
+
+func (h *memHandle) Write(p []byte) (int, error) {
+	h.fs.mu.Lock()
+	defer h.fs.mu.Unlock()
+	if h.closed {
+		return 0, errors.New("wal: memfs: write on closed file")
+	}
+	f := h.fs.files[h.name]
+	if f == nil {
+		return 0, fmt.Errorf("wal: memfs: write %s: file removed", h.name)
+	}
+	err := h.fs.op(func() { f.pending = append(f.pending, p...) }, true)
+	if err != nil {
+		return 0, err
+	}
+	return len(p), nil
+}
+
+func (h *memHandle) Sync() error {
+	h.fs.mu.Lock()
+	defer h.fs.mu.Unlock()
+	if h.closed {
+		return errors.New("wal: memfs: sync on closed file")
+	}
+	if err := h.fs.failSync(); err != nil {
+		return err
+	}
+	f := h.fs.files[h.name]
+	if f == nil {
+		return nil
+	}
+	return h.fs.op(func() {
+		f.durable = append(f.durable, f.pending...)
+		f.pending = nil
+	}, false)
+}
+
+func (h *memHandle) Close() error {
+	h.fs.mu.Lock()
+	defer h.fs.mu.Unlock()
+	h.closed = true
+	return nil
+}
