@@ -11,6 +11,7 @@
 //
 //	benchcheck -baseline BENCH_pr2.json -new BENCH_pr6.json [-ns-slack 0.30]
 //	benchcheck -churn BENCH_pr7.json [-max-write-amp 20]
+//	benchcheck -scaling BENCH_pr8.json [-min-speedup 1.2]
 //
 // Benchmarks present only in the baseline are ignored (old benchmarks
 // may be retired); benchmarks present only in the new file pass (no
@@ -21,6 +22,13 @@
 // JSON report) instead of go test -json output: the equivalence oracle
 // must have passed, and for a durable run the crash-recovery oracle
 // must have passed and write amplification must stay under the bound.
+//
+// The third form gates a scaling report (the csq-bench -exp=scaling
+// JSON): the best parallel point on the LUBM workload curve must reach
+// the minimum speedup over the sequential baseline. On machines with
+// fewer than four cores the gate skips (exit 0) — a near-serial
+// machine cannot demonstrate parallel speedup, only CI-class runners
+// enforce it.
 package main
 
 import (
@@ -185,15 +193,86 @@ func checkChurn(path string, maxWriteAmp float64) {
 	}
 }
 
+// scalingFile is the subset of the csq-bench scaling JSON the gate
+// reads.
+type scalingFile struct {
+	Cores  int `json:"cores"`
+	Curves []struct {
+		Name         string `json:"name"`
+		SequentialNS int64  `json:"sequential_ns"`
+		Points       []struct {
+			Workers int     `json:"workers"`
+			Speedup float64 `json:"speedup"`
+		} `json:"points"`
+	} `json:"curves"`
+}
+
+// checkScaling gates one scaling report: the workload curve's best
+// parallel speedup must reach minSpeedup. Below four cores it skips —
+// the machine cannot exhibit the parallelism under test.
+func checkScaling(path string, minSpeedup float64) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchcheck: %v\n", err)
+		os.Exit(2)
+	}
+	var r scalingFile
+	if err := json.Unmarshal(data, &r); err != nil {
+		fmt.Fprintf(os.Stderr, "benchcheck: %s: %v\n", path, err)
+		os.Exit(2)
+	}
+	if r.Cores < 4 {
+		fmt.Printf("skip  scaling gate: %d cores recorded, need >= 4 to demonstrate speedup\n", r.Cores)
+		return
+	}
+	failed := false
+	checked := false
+	for _, c := range r.Curves {
+		best := 0.0
+		bestW := 0
+		for _, p := range c.Points {
+			if p.Speedup > best {
+				best, bestW = p.Speedup, p.Workers
+			}
+		}
+		gated := c.Name == "workload"
+		verdict := "info"
+		if gated {
+			checked = true
+			verdict = "ok"
+			if best < minSpeedup {
+				verdict = "FAIL"
+				failed = true
+			}
+		}
+		fmt.Printf("%s  %s: best speedup %.2fx at %d workers (gate %.2fx)\n",
+			verdict, c.Name, best, bestW, minSpeedup)
+	}
+	if !checked {
+		fmt.Fprintf(os.Stderr, "benchcheck: %s has no workload curve to gate\n", path)
+		os.Exit(2)
+	}
+	if failed {
+		fmt.Fprintf(os.Stderr, "benchcheck: parallel runtime below %.2fx sequential\n", minSpeedup)
+		os.Exit(1)
+	}
+}
+
 func main() {
 	baselinePath := flag.String("baseline", "", "baseline results (go test -json), e.g. the committed BENCH_pr2.json")
 	newPath := flag.String("new", "", "new results (go test -json) to check against the baseline")
 	nsSlack := flag.Float64("ns-slack", 0.30, "allowed relative ns/op regression before failing (0.30 = 30%)")
 	churnPath := flag.String("churn", "", "churn metrics JSON to gate (csq-bench -exp=churn -out); replaces -baseline/-new")
 	maxWriteAmp := flag.Float64("max-write-amp", 20, "with -churn: maximum allowed durable write amplification")
+	scalingPath := flag.String("scaling", "", "scaling report JSON to gate (csq-bench -exp=scaling -out); replaces -baseline/-new")
+	minSpeedup := flag.Float64("min-speedup", 1.2, "with -scaling: required parallel speedup over sequential on the workload curve")
 	flag.Parse()
 	if *churnPath != "" {
 		checkChurn(*churnPath, *maxWriteAmp)
+		return
+	}
+	if *scalingPath != "" {
+		checkScaling(*scalingPath, *minSpeedup)
 		return
 	}
 	if *baselinePath == "" || *newPath == "" {

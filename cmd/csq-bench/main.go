@@ -10,6 +10,7 @@
 //	csq-bench -exp=bounds      # Figure 8  (decomposition bounds)
 //	csq-bench -exp=serving     # concurrent serving: QPS, latency, cache
 //	csq-bench -exp=churn       # mixed read/write clients: QPS, staleness
+//	csq-bench -exp=scaling     # morsel-runtime speedup vs worker count
 //	csq-bench -exp=all
 //
 // Flags tune the scale (-univ), cluster size (-nodes), the synthetic
@@ -35,7 +36,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: planspace|plans|systems|workload|bounds|serving|churn|all")
+	exp := flag.String("exp", "all", "experiment: planspace|plans|systems|workload|bounds|serving|churn|scaling|all")
 	univ := flag.Int("univ", 100, "LUBM scale (universities) for execution experiments")
 	nodes := flag.Int("nodes", 7, "simulated cluster nodes")
 	perShape := flag.Int("pershape", 30, "synthetic queries per shape (paper: 30)")
@@ -46,7 +47,7 @@ func main() {
 	writers := flag.Int("writers", 2, "churn: concurrent writer goroutines")
 	batch := flag.Int("batch", 200, "churn: max triples per update batch")
 	walDir := flag.String("wal", "", "churn: write-ahead-log directory; enables durable mode with write-amplification and crash-recovery measurement")
-	out := flag.String("out", "", "serving/churn: write metrics JSON to this file")
+	out := flag.String("out", "", "serving/churn/scaling: write metrics JSON to this file")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the selected experiments to this file")
 	memprofile := flag.String("memprofile", "", "write an allocation profile taken after the experiments to this file")
 	flag.Parse()
@@ -104,6 +105,7 @@ func main() {
 	run("systems", func() error { return systemsCmp(cc) })
 	run("serving", func() error { return serving(cc, *clients, *requests, *out) })
 	run("churn", func() error { return churn(cc, *clients, *requests, *writers, *batch, *walDir, *out) })
+	run("scaling", func() error { return scaling(cc, *out) })
 }
 
 func tw() *tabwriter.Writer {

@@ -6,13 +6,22 @@
 // on a 7-node Hadoop cluster; this simulator substitutes for it while
 // preserving what the evaluation measures — how plan shape (number of
 // jobs, join levels, intermediate sizes) drives response time.
+//
+// The runtime is morsel-driven: a job's map work is split into
+// sub-node morsels (per partition file, via Job.MapMorsel) and its
+// reduce work into per-key-range morsels, all pulled from one shared
+// queue by a persistent worker Pool. Simulated statistics stay
+// byte-identical to a sequential sweep whatever the scheduling: every
+// metered charge is recorded per morsel and replayed into the
+// per-node meters in canonical morsel order, so the floating-point
+// sums accumulate in exactly the sequential order, and shuffle routing
+// happens at emission time into per-(morsel, destination) buckets that
+// are concatenated in (source node, morsel) order.
 package mapreduce
 
 import (
 	"encoding/binary"
 	"runtime"
-	"sync"
-	"sync/atomic"
 
 	"cliquesquare/internal/dstore"
 )
@@ -50,40 +59,119 @@ func DefaultConstants() Constants {
 	return Constants{Read: 1, Write: 1, Shuffle: 3, Check: 0.1, Join: 1, JobInit: 5e6}
 }
 
-// Meter accumulates one node's simulated work during one phase.
+// Accumulator lanes of a Meter.
+const (
+	chargeIO = iota
+	chargeCPU
+	chargeNet
+)
+
+// charge is one recorded metering event: which accumulator it hit and
+// the exact amount added. Replaying a morsel's charges into a node
+// meter in canonical morsel order reproduces, bit for bit, the sums a
+// sequential sweep would have accumulated — each amount is the same
+// product, added in the same order.
+type charge struct {
+	lane uint8
+	v    float64
+}
+
+// Meter accumulates one node's (or one morsel's) simulated work during
+// one phase. A meter with a recorder attached additionally logs each
+// charge for ordered replay.
 type Meter struct {
 	IO, CPU, Net float64
+	rec          *[]charge
+}
+
+func (m *Meter) charge(lane uint8, v float64) {
+	switch lane {
+	case chargeIO:
+		m.IO += v
+	case chargeCPU:
+		m.CPU += v
+	default:
+		m.Net += v
+	}
+	if m.rec != nil {
+		*m.rec = append(*m.rec, charge{lane, v})
+	}
+}
+
+// replay adds recorded charges in their recorded order.
+func (m *Meter) replay(cs []charge) {
+	for _, c := range cs {
+		switch c.lane {
+		case chargeIO:
+			m.IO += c.v
+		case chargeCPU:
+			m.CPU += c.v
+		default:
+			m.Net += c.v
+		}
+	}
 }
 
 // Read charges reading n tuples.
-func (m *Meter) Read(c *Constants, n int) { m.IO += c.Read * float64(n) }
+func (m *Meter) Read(c *Constants, n int) { m.charge(chargeIO, c.Read*float64(n)) }
 
 // Write charges writing n tuples.
-func (m *Meter) Write(c *Constants, n int) { m.IO += c.Write * float64(n) }
+func (m *Meter) Write(c *Constants, n int) { m.charge(chargeIO, c.Write*float64(n)) }
 
 // Check charges n filter/projection evaluations.
-func (m *Meter) Check(c *Constants, n int) { m.CPU += c.Check * float64(n) }
+func (m *Meter) Check(c *Constants, n int) { m.charge(chargeCPU, c.Check*float64(n)) }
 
 // Join charges processing n tuples through a join.
-func (m *Meter) Join(c *Constants, n int) { m.CPU += c.Join * float64(n) }
+func (m *Meter) Join(c *Constants, n int) { m.charge(chargeCPU, c.Join*float64(n)) }
 
 // Shuffle charges receiving n tuples over the network.
-func (m *Meter) Shuffle(c *Constants, n int) { m.Net += c.Shuffle * float64(n) }
+func (m *Meter) Shuffle(c *Constants, n int) { m.charge(chargeNet, c.Shuffle*float64(n)) }
 
 // Total is the node's simulated time for the phase.
 func (m *Meter) Total() float64 { return m.IO + m.CPU + m.Net }
 
-// Job describes one MapReduce job. Map runs once per node; it may emit
-// keyed records into the shuffle and/or write rows to the job's direct
-// output (map-only output). Reduce, if non-nil, runs once per node over
-// the keyed records routed to it, grouped by exact key and presented in
-// canonical key order through the Groups iterator. The closures must
-// charge their work to the provided Meter.
+// Job describes one MapReduce job.
+//
+// The classic form: Map runs once per node; it may emit keyed records
+// into the shuffle and/or write rows to the job's direct output
+// (map-only output). Reduce, if non-nil, runs once per node over the
+// keyed records routed to it, grouped by exact key and presented in
+// canonical key order through the Groups iterator.
+//
+// The morsel form: MapMorsel (when non-nil, used instead of Map) runs
+// MapMorsels(node) times per node, each call an independently
+// schedulable unit — morsels of one node may run on different lanes
+// concurrently, so per-call scratch must be indexed by the lane
+// argument, and the concatenation of a node's morsel emissions,
+// outputs and metered charges in morsel order must equal what one
+// sequential per-node sweep would produce (that concatenation is
+// exactly what the runtime reconstructs). ReduceRange (when non-nil,
+// used instead of Reduce) runs over one group-aligned key range of a
+// node's records — ranges partition the node's canonical group order
+// — and ReduceFinish, if non-nil, then runs once per node to combine
+// the ranges (its metered charges and outputs follow all range
+// charges of that node, matching a sequential groups-then-combine
+// sweep). The closures must charge their work to the provided Meter.
 type Job struct {
 	Name   string
 	Map    func(node int, m *Meter, emit func(Keyed), out func(Row))
 	Reduce func(node int, m *Meter, groups *Groups, out func(Row))
+
+	// MapMorsels reports how many map morsels a node splits into
+	// (nil means 1 when MapMorsel is set). Zero is allowed and means
+	// the node's map phase does nothing.
+	MapMorsels func(node int) int
+	// MapMorsel runs one map morsel of a node on a lane.
+	MapMorsel func(node, morsel, lane int, m *Meter, emit func(Keyed), out func(Row))
+	// ReduceRange runs one key range of a node's reduce input on a
+	// lane. ranges is the number of ranges the node was split into.
+	ReduceRange func(node, rng, ranges, lane int, m *Meter, groups *Groups, out func(Row))
+	// ReduceFinish combines a node's ranges after all of them ran.
+	ReduceFinish func(node, ranges, lane int, m *Meter, out func(Row))
 }
+
+// mapOnly reports whether the job has no reduce side.
+func (j *Job) mapOnly() bool { return j.Reduce == nil && j.ReduceRange == nil }
 
 // JobStats records one executed job's simulated timing.
 type JobStats struct {
@@ -100,18 +188,20 @@ type JobStats struct {
 
 // Cluster is a simulated MapReduce cluster over a shared file store.
 //
-// Per-node phases (map, shuffle accounting, reduce) run concurrently on
-// a worker pool, mirroring the real parallelism CliqueSquare's flat
-// plans exploit. Each node's task fills only node-private buffers; the
-// buffers are merged in node order afterwards, so outputs and JobStats
-// are identical to the sequential runtime regardless of scheduling.
+// Phases run as morsels on a worker pool (RunWith), mirroring the real
+// parallelism CliqueSquare's flat plans exploit. Each morsel fills
+// only private buffers; the buffers are merged in canonical (node,
+// morsel) order afterwards, so outputs and JobStats are identical to
+// the sequential runtime regardless of scheduling.
 type Cluster struct {
 	Store *dstore.Store
 	C     Constants
 
-	// Parallelism bounds the worker pool running per-node phases; 0
-	// means GOMAXPROCS. Sequential forces the single-goroutine runtime
-	// (the escape hatch for debugging and determinism baselines).
+	// Parallelism bounds the worker lanes running morsels; 0 means
+	// GOMAXPROCS. Sequential forces the single-goroutine runtime (the
+	// escape hatch for debugging and determinism baselines). Both are
+	// defaults for Run; RunWith takes explicit options and leaves
+	// these fields untouched.
 	Parallelism int
 	Sequential  bool
 
@@ -127,25 +217,142 @@ type Cluster struct {
 	totalWork float64
 }
 
-// Scratch holds the per-node shuffle buffers one Run draws from: the
-// map phase's emitted records, the routed per-destination records, and
-// the per-phase meters and counters. Buffers are sized on first use and
-// reused (at their high-water capacity) by every subsequent Run handed
-// the same Scratch. A Scratch serves one Run at a time — the worker
-// pool inside Run partitions it per node, but two concurrent Runs must
-// not share one.
+// RunOptions selects the runtime one RunWith call uses. The zero value
+// means: GOMAXPROCS transient lanes, per-Run scratch.
+type RunOptions struct {
+	// Sequential forces inline execution on the caller's goroutine.
+	Sequential bool
+	// Workers is the lane count when Pool is nil (0 = GOMAXPROCS).
+	Workers int
+	// Pool, if non-nil, supplies persistent worker lanes (its width
+	// wins over Workers). nil spawns a transient pool for this Run
+	// when more than one lane is called for.
+	Pool *Pool
+	// Scratch, if non-nil, provides the reusable buffers.
+	Scratch *Scratch
+}
+
+// laneState is one lane's current morsel bindings: where its emit and
+// out closures write. The closures themselves are built once per
+// Scratch lane and retargeted per morsel, so running a morsel
+// allocates nothing.
+type laneState struct {
+	n       int       // cluster size (routing modulus)
+	buckets [][]Keyed // per-destination emission buckets of the morsel
+	count   *int      // records emitted
+	cells   *int      // row cells emitted
+	out     *[]Row    // direct output target
+	outputs *int      // rows written
+}
+
+// Scratch holds the buffers one Run draws from: per-(morsel,
+// destination) emission buckets, the routed per-destination records,
+// recorded charges, per-phase meters and counters, and the per-lane
+// emit/out closures. Buffers are sized on first use and reused (at
+// their high-water capacity) by every subsequent Run handed the same
+// Scratch. A Scratch serves one Run at a time — the worker pool inside
+// Run partitions it per morsel, but two concurrent Runs must not share
+// one.
 type Scratch struct {
-	emitted  [][]Keyed
-	shuffled [][]Keyed
-	outputs  []int
-	mapM     []Meter
-	shufM    []Meter
-	redM     []Meter
+	// map phase, indexed by morsel slot (flattened (node, morsel)).
+	buckets  [][]Keyed // slot*n+dest -> emitted records for dest
+	counts   []int     // slot -> records emitted
+	cells    []int     // slot -> row cells emitted
+	mapOut   [][]Row   // slot -> direct outputs (multi-morsel nodes)
+	outputs  []int     // slot -> rows written
+	charges  [][]charge
+	morselM  []Meter
+	slotNode []int32
+	slotBase []int
+
+	// shuffle + reduce phase.
+	shuffled   [][]Keyed // dest node -> routed records
+	rangeOff   [][]int32 // node -> group-aligned range offsets
+	rangeBase  []int     // node -> first flat range index
+	rangeNode  []int32
+	redCharges [][]charge
+	rangeM     []Meter
+	redOut     [][]Row
+	redOutputs []int
+	finCharges [][]charge
+	finM       []Meter
+	finOutputs []int
+	groupsBuf  []Groups
+
+	mapM  []Meter
+	shufM []Meter
+	redM  []Meter
+
+	// per-lane retargetable closures (allocated once per lane).
+	lanes   []*laneState
+	emitFns []func(Keyed)
+	outFns  []func(Row)
+}
+
+// laneFns sizes the per-lane closure set. Lane states are allocated
+// individually so the closures' captured pointers survive growth.
+func (sc *Scratch) laneFns(lanes int) {
+	for len(sc.lanes) < lanes {
+		st := &laneState{}
+		sc.lanes = append(sc.lanes, st)
+		sc.emitFns = append(sc.emitFns, func(k Keyed) {
+			dest := k.Key.route(st.n)
+			st.buckets[dest] = append(st.buckets[dest], k)
+			*st.count++
+			*st.cells += len(k.Row)
+		})
+		sc.outFns = append(sc.outFns, func(r Row) {
+			*st.out = append(*st.out, r)
+			*st.outputs++
+		})
+	}
 }
 
 // keyedBufs returns n record buffers, each reset to length zero but
 // keeping its backing array.
 func keyedBufs(store *[][]Keyed, n int) [][]Keyed {
+	b := *store
+	for len(b) < n {
+		b = append(b, nil)
+	}
+	*store = b
+	b = b[:n]
+	for i := range b {
+		b[i] = b[i][:0]
+	}
+	return b
+}
+
+// rowBufs returns n row buffers, each reset to length zero.
+func rowBufs(store *[][]Row, n int) [][]Row {
+	b := *store
+	for len(b) < n {
+		b = append(b, nil)
+	}
+	*store = b
+	b = b[:n]
+	for i := range b {
+		b[i] = b[i][:0]
+	}
+	return b
+}
+
+// chargeBufs returns n charge logs, each reset to length zero.
+func chargeBufs(store *[][]charge, n int) [][]charge {
+	b := *store
+	for len(b) < n {
+		b = append(b, nil)
+	}
+	*store = b
+	b = b[:n]
+	for i := range b {
+		b[i] = b[i][:0]
+	}
+	return b
+}
+
+// int32SliceBufs returns n int32 buffers, each reset to length zero.
+func int32SliceBufs(store *[][]int32, n int) [][]int32 {
 	b := *store
 	for len(b) < n {
 		b = append(b, nil)
@@ -183,6 +390,31 @@ func intBufs(store *[]int, n int) []int {
 		for i := range b {
 			b[i] = 0
 		}
+	}
+	*store = b
+	return b
+}
+
+// int32Bufs returns n int32 slots, reusing the backing array (contents
+// are overwritten by the caller).
+func int32Bufs(store *[]int32, n int) []int32 {
+	b := *store
+	if cap(b) < n {
+		b = make([]int32, n)
+	} else {
+		b = b[:n]
+	}
+	*store = b
+	return b
+}
+
+// groupsBufs returns n Groups slots, reusing the backing array.
+func groupsBufs(store *[]Groups, n int) []Groups {
+	b := *store
+	if cap(b) < n {
+		b = make([]Groups, n)
+	} else {
+		b = b[:n]
 	}
 	*store = b
 	return b
@@ -237,73 +469,309 @@ func (o *Output) Len() int {
 	return n
 }
 
-// Run executes one job and returns its output. Map outputs and reduce
-// outputs append to the same per-node output set; a job uses one or the
-// other (map-only vs map+reduce) per the physical plan's structure.
+// Run executes one job under the cluster's own runtime settings
+// (Parallelism, Sequential, Scratch) and returns its output.
 func (cl *Cluster) Run(job Job) *Output {
+	return cl.RunWith(job, RunOptions{
+		Sequential: cl.Sequential,
+		Workers:    cl.Parallelism,
+		Scratch:    cl.Scratch,
+	})
+}
+
+// RunWith executes one job under explicit runtime options and returns
+// its output. Map outputs and reduce outputs append to the same
+// per-node output set; a job uses one or the other (map-only vs
+// map+reduce) per the physical plan's structure.
+//
+// Determinism: rows and JobStats are byte-identical whatever the lane
+// count or scheduling. Integer counters are order-free; floating-point
+// meters are reconstructed by replaying each morsel's recorded charges
+// in canonical (node, morsel) — then (node, range), then finish —
+// order, which is exactly the order a sequential sweep charges them
+// in; and the shuffle input of every destination is the concatenation
+// of pre-routed per-(source, destination) buckets in (source node,
+// morsel) order, the order the sequential merge loop routed records
+// in.
+func (cl *Cluster) RunWith(job Job, opts RunOptions) *Output {
 	n := cl.N()
 	out := &Output{PerNode: make([][]Row, n)}
-	stats := JobStats{Name: job.Name, MapOnly: job.Reduce == nil}
+	stats := JobStats{Name: job.Name, MapOnly: job.mapOnly()}
 	work := 0.0
-	sc := cl.Scratch
+	sc := opts.Scratch
 	if sc == nil {
 		sc = &Scratch{}
 	}
 
-	// Map phase: one task per node. Each task buffers its emissions
-	// node-privately; the shuffle routing happens in the deterministic
-	// merge below.
-	emitted := keyedBufs(&sc.emitted, n) // source node -> emitted records
-	outputs := intBufs(&sc.outputs, n)   // source node -> rows written
-	meters := meterBufs(&sc.mapM, n)
-	cl.forEachNode(n, func(node int) {
-		emit := func(k Keyed) {
-			emitted[node] = append(emitted[node], k)
+	// Resolve the lane count and pool. A single lane (or Sequential)
+	// runs everything inline with direct node meters — no recording,
+	// no replay — which produces bit-identical sums by construction
+	// (replay is just the same additions deferred).
+	pool := opts.Pool
+	lanes := 1
+	if !opts.Sequential {
+		if pool != nil {
+			lanes = pool.Lanes()
+		} else if lanes = opts.Workers; lanes <= 0 {
+			lanes = runtime.GOMAXPROCS(0)
 		}
-		output := func(r Row) {
-			out.PerNode[node] = append(out.PerNode[node], r)
-			outputs[node]++
-		}
-		job.Map(node, &meters[node], emit, output)
-	})
-	// Merge in node order: shuffle destination lists, counters and the
-	// simulated-work sum accumulate exactly as in a sequential sweep.
-	shuffled := keyedBufs(&sc.shuffled, n) // destination node -> records
-	for node := 0; node < n; node++ {
-		for _, k := range emitted[node] {
-			dest := k.Key.route(n)
-			shuffled[dest] = append(shuffled[dest], k)
-			stats.Shuffled++
-			stats.ShuffledCells += len(k.Row)
-		}
-		stats.Output += outputs[node]
-		if t := meters[node].Total(); t > stats.MapTime {
-			stats.MapTime = t
-		}
-		work += meters[node].Total()
+	}
+	if lanes <= 1 {
+		lanes, pool = 1, nil
+	} else if pool == nil {
+		pool = NewPool(lanes)
+		defer pool.Close()
+	}
+	seq := lanes == 1
+	sc.laneFns(lanes)
+	for _, st := range sc.lanes[:lanes] {
+		st.n = n
 	}
 
-	// Shuffle + reduce phases: again one task per node over the
-	// node-routed records, merged in node order.
-	if job.Reduce != nil {
+	// ---- Map phase: one morsel per (node, sub-task). ----
+	slotBase := intBufs(&sc.slotBase, n+1)
+	m := 0
+	for node := 0; node < n; node++ {
+		slotBase[node] = m
+		k := 1
+		if job.MapMorsel != nil && job.MapMorsels != nil {
+			k = job.MapMorsels(node)
+		}
+		m += k
+	}
+	slotBase[n] = m
+	nSlots := m
+	slotNode := int32Bufs(&sc.slotNode, nSlots)
+	for node := 0; node < n; node++ {
+		for s := slotBase[node]; s < slotBase[node+1]; s++ {
+			slotNode[s] = int32(node)
+		}
+	}
+	buckets := keyedBufs(&sc.buckets, nSlots*n)
+	counts := intBufs(&sc.counts, nSlots)
+	cellCnt := intBufs(&sc.cells, nSlots)
+	outputs := intBufs(&sc.outputs, nSlots)
+	mapOut := rowBufs(&sc.mapOut, nSlots)
+	mapMeters := meterBufs(&sc.mapM, n)
+	var charges [][]charge
+	var morselM []Meter
+	if !seq {
+		charges = chargeBufs(&sc.charges, nSlots)
+		morselM = meterBufs(&sc.morselM, nSlots)
+		for s := range morselM {
+			morselM[s].rec = &charges[s]
+		}
+	}
+	runMorsel := func(slot, lane int) {
+		node := int(slotNode[slot])
+		st := sc.lanes[lane]
+		st.buckets = buckets[slot*n : (slot+1)*n]
+		st.count = &counts[slot]
+		st.cells = &cellCnt[slot]
+		st.outputs = &outputs[slot]
+		if slotBase[node+1]-slotBase[node] == 1 {
+			// A node's only morsel writes the node output directly.
+			st.out = &out.PerNode[node]
+		} else {
+			st.out = &mapOut[slot]
+		}
+		mm := &mapMeters[node]
+		if !seq {
+			mm = &morselM[slot]
+		}
+		if job.MapMorsel != nil {
+			job.MapMorsel(node, slot-slotBase[node], lane, mm, sc.emitFns[lane], sc.outFns[lane])
+		} else {
+			job.Map(node, mm, sc.emitFns[lane], sc.outFns[lane])
+		}
+	}
+	if seq {
+		for s := 0; s < nSlots; s++ {
+			runMorsel(s, 0)
+		}
+	} else {
+		pool.ForEach(nSlots, runMorsel)
+	}
+	// Merge in (node, morsel) order: replayed meters, counters and the
+	// simulated-work sum accumulate exactly as in a sequential sweep.
+	for node := 0; node < n; node++ {
+		base, end := slotBase[node], slotBase[node+1]
+		for s := base; s < end; s++ {
+			if !seq {
+				mapMeters[node].replay(charges[s])
+			}
+			stats.Shuffled += counts[s]
+			stats.ShuffledCells += cellCnt[s]
+			stats.Output += outputs[s]
+			if end-base > 1 && len(mapOut[s]) > 0 {
+				out.PerNode[node] = append(out.PerNode[node], mapOut[s]...)
+			}
+		}
+		if t := mapMeters[node].Total(); t > stats.MapTime {
+			stats.MapTime = t
+		}
+		work += mapMeters[node].Total()
+	}
+
+	// ---- Shuffle + reduce phases. ----
+	if !job.mapOnly() {
+		shuffled := keyedBufs(&sc.shuffled, n)
 		shufMeters := meterBufs(&sc.shufM, n)
 		redMeters := meterBufs(&sc.redM, n)
-		for i := range outputs {
-			outputs[i] = 0
+		rangeOff := int32SliceBufs(&sc.rangeOff, n)
+		maxRanges := 1
+		if job.ReduceRange != nil {
+			maxRanges = lanes
 		}
-		cl.forEachNode(n, func(node int) {
-			shufMeters[node].Shuffle(&cl.C, len(shuffled[node]))
-			// Group by sorting the node's records into canonical key
-			// order: equal keys become adjacent runs, with no per-key
-			// map insert and no key-slice sort on the reduce side.
-			sortRecords(shuffled[node])
-			groups := Groups{recs: shuffled[node]}
-			output := func(r Row) {
-				out.PerNode[node] = append(out.PerNode[node], r)
-				outputs[node]++
+		// Per destination: concatenate the pre-routed buckets in
+		// (source node, morsel) order — byte-identical to the order
+		// the sequential merge loop routed records in — then charge,
+		// sort into canonical group order and split into group-aligned
+		// ranges. The single Shuffle charge per node needs no replay.
+		routeNode := func(dest, lane int) {
+			buf := shuffled[dest]
+			for s := 0; s < nSlots; s++ {
+				buf = append(buf, buckets[s*n+dest]...)
 			}
-			job.Reduce(node, &redMeters[node], &groups, output)
-		})
+			shuffled[dest] = buf
+			shufMeters[dest].Shuffle(&cl.C, len(buf))
+			sortRecords(buf)
+			offs := append(rangeOff[dest][:0], 0)
+			if maxRanges > 1 {
+				target := (len(buf) + maxRanges - 1) / maxRanges
+				for r := 1; r < maxRanges; r++ {
+					pos := r * target
+					if pos <= int(offs[len(offs)-1]) {
+						continue
+					}
+					if pos >= len(buf) {
+						break
+					}
+					for pos < len(buf) && buf[pos].Key.Equal(&buf[pos-1].Key) {
+						pos++
+					}
+					if pos >= len(buf) {
+						break
+					}
+					offs = append(offs, int32(pos))
+				}
+			}
+			offs = append(offs, int32(len(buf)))
+			rangeOff[dest] = offs
+		}
+		if seq {
+			for node := 0; node < n; node++ {
+				routeNode(node, 0)
+			}
+		} else {
+			pool.ForEach(n, routeNode)
+		}
+
+		// Flatten the (node, range) space so ranges of all nodes share
+		// one morsel queue.
+		rangeBase := intBufs(&sc.rangeBase, n+1)
+		total := 0
+		for node := 0; node < n; node++ {
+			rangeBase[node] = total
+			total += len(rangeOff[node]) - 1
+		}
+		rangeBase[n] = total
+		rangeNode := int32Bufs(&sc.rangeNode, total)
+		for node := 0; node < n; node++ {
+			for i := rangeBase[node]; i < rangeBase[node+1]; i++ {
+				rangeNode[i] = int32(node)
+			}
+		}
+		redOutputs := intBufs(&sc.redOutputs, total)
+		redOut := rowBufs(&sc.redOut, total)
+		groups := groupsBufs(&sc.groupsBuf, total)
+		var redCharges [][]charge
+		var rangeM []Meter
+		if !seq {
+			redCharges = chargeBufs(&sc.redCharges, total)
+			rangeM = meterBufs(&sc.rangeM, total)
+			for i := range rangeM {
+				rangeM[i].rec = &redCharges[i]
+			}
+		}
+		runRange := func(idx, lane int) {
+			node := int(rangeNode[idx])
+			rng := idx - rangeBase[node]
+			nRanges := rangeBase[node+1] - rangeBase[node]
+			offs := rangeOff[node]
+			g := &groups[idx]
+			g.recs = shuffled[node][offs[rng]:offs[rng+1]]
+			st := sc.lanes[lane]
+			st.outputs = &redOutputs[idx]
+			if nRanges == 1 && job.ReduceFinish == nil {
+				st.out = &out.PerNode[node]
+			} else {
+				st.out = &redOut[idx]
+			}
+			mm := &redMeters[node]
+			if !seq {
+				mm = &rangeM[idx]
+			}
+			if job.ReduceRange != nil {
+				job.ReduceRange(node, rng, nRanges, lane, mm, g, sc.outFns[lane])
+			} else {
+				job.Reduce(node, mm, g, sc.outFns[lane])
+			}
+		}
+		if seq {
+			for i := 0; i < total; i++ {
+				runRange(i, 0)
+			}
+		} else {
+			pool.ForEach(total, runRange)
+		}
+		// Replay range charges and merge deferred range outputs in
+		// (node, range) order before any finish work lands.
+		for node := 0; node < n; node++ {
+			for i := rangeBase[node]; i < rangeBase[node+1]; i++ {
+				if !seq {
+					redMeters[node].replay(redCharges[i])
+				}
+				if len(redOut[i]) > 0 {
+					out.PerNode[node] = append(out.PerNode[node], redOut[i]...)
+				}
+			}
+		}
+		var finOutputs []int
+		if job.ReduceFinish != nil {
+			finOutputs = intBufs(&sc.finOutputs, n)
+			var finCharges [][]charge
+			var finM []Meter
+			if !seq {
+				finCharges = chargeBufs(&sc.finCharges, n)
+				finM = meterBufs(&sc.finM, n)
+				for i := range finM {
+					finM[i].rec = &finCharges[i]
+				}
+			}
+			runFinish := func(node, lane int) {
+				st := sc.lanes[lane]
+				st.outputs = &finOutputs[node]
+				st.out = &out.PerNode[node]
+				mm := &redMeters[node]
+				if !seq {
+					mm = &finM[node]
+				}
+				job.ReduceFinish(node, rangeBase[node+1]-rangeBase[node], lane, mm, sc.outFns[lane])
+			}
+			if seq {
+				for node := 0; node < n; node++ {
+					runFinish(node, 0)
+				}
+			} else {
+				pool.ForEach(n, runFinish)
+			}
+			if !seq {
+				for node := 0; node < n; node++ {
+					redMeters[node].replay(finCharges[node])
+				}
+			}
+		}
 		for node := 0; node < n; node++ {
 			if t := shufMeters[node].Total(); t > stats.ShuffleTime {
 				stats.ShuffleTime = t
@@ -313,7 +781,12 @@ func (cl *Cluster) Run(job Job) *Output {
 				stats.ReduceTime = t
 			}
 			work += redMeters[node].Total()
-			stats.Output += outputs[node]
+			for i := rangeBase[node]; i < rangeBase[node+1]; i++ {
+				stats.Output += redOutputs[i]
+			}
+			if finOutputs != nil {
+				stats.Output += finOutputs[node]
+			}
 		}
 	}
 
@@ -322,60 +795,6 @@ func (cl *Cluster) Run(job Job) *Output {
 	cl.totalWork += work
 	cl.Jobs = append(cl.Jobs, stats)
 	return out
-}
-
-// forEachNode runs f(0..n-1), sequentially when the escape hatch is on
-// (or only one worker is available), otherwise on a worker pool bounded
-// by Parallelism (default GOMAXPROCS). A panic in a task is re-raised
-// on the caller's goroutine, matching sequential behavior.
-func (cl *Cluster) forEachNode(n int, f func(node int)) {
-	workers := cl.Parallelism
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	if workers > n {
-		workers = n
-	}
-	if cl.Sequential || workers <= 1 {
-		for node := 0; node < n; node++ {
-			f(node)
-		}
-		return
-	}
-	var (
-		next     atomic.Int64
-		panicMu  sync.Mutex
-		panicked any
-		wg       sync.WaitGroup
-	)
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for {
-				node := int(next.Add(1)) - 1
-				if node >= n {
-					return
-				}
-				func() {
-					defer func() {
-						if r := recover(); r != nil {
-							panicMu.Lock()
-							if panicked == nil {
-								panicked = r
-							}
-							panicMu.Unlock()
-						}
-					}()
-					f(node)
-				}()
-			}
-		}()
-	}
-	wg.Wait()
-	if panicked != nil {
-		panic(panicked)
-	}
 }
 
 // Reset clears accumulated job statistics (the store is untouched).

@@ -1,0 +1,122 @@
+package mapreduce
+
+import (
+	"runtime"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestPoolForEachCoverage checks every item runs exactly once, on a
+// lane inside the pool's width, across many batch shapes.
+func TestPoolForEachCoverage(t *testing.T) {
+	p := NewPool(4)
+	defer p.Close()
+	for _, n := range []int{0, 1, 2, 3, 4, 7, 64, 1000} {
+		hits := make([]atomic.Int32, n)
+		p.ForEach(n, func(item, lane int) {
+			if lane < 0 || lane >= 4 {
+				t.Errorf("n=%d: item %d ran on lane %d", n, item, lane)
+			}
+			hits[item].Add(1)
+		})
+		for i := range hits {
+			if c := hits[i].Load(); c != 1 {
+				t.Errorf("n=%d: item %d ran %d times", n, i, c)
+			}
+		}
+	}
+}
+
+// TestPoolSequentialFallbacks checks the inline paths: nil pool,
+// width-1 pool, single-item batch, closed pool. All must run every
+// item on lane 0.
+func TestPoolSequentialFallbacks(t *testing.T) {
+	check := func(name string, p *Pool, n int) {
+		t.Helper()
+		ran := 0
+		p.ForEach(n, func(item, lane int) {
+			if lane != 0 {
+				t.Errorf("%s: lane %d", name, lane)
+			}
+			if item != ran {
+				t.Errorf("%s: item %d out of order (want %d)", name, item, ran)
+			}
+			ran++
+		})
+		if ran != n {
+			t.Errorf("%s: ran %d of %d", name, ran, n)
+		}
+	}
+	check("nil", nil, 5)
+	w1 := NewPool(1)
+	check("width-1", w1, 5)
+	w1.Close()
+	p := NewPool(3)
+	check("single-item", p, 1)
+	p.Close()
+	check("closed", p, 5)
+}
+
+// TestPoolPanicPropagation checks a panicking item reaches the ForEach
+// caller while the remaining items still run, and the pool stays
+// usable afterwards.
+func TestPoolPanicPropagation(t *testing.T) {
+	p := NewPool(2)
+	defer p.Close()
+	var ran atomic.Int32
+	func() {
+		defer func() {
+			if r := recover(); r != "boom" {
+				t.Errorf("recovered %v, want boom", r)
+			}
+		}()
+		p.ForEach(8, func(item, lane int) {
+			ran.Add(1)
+			if item == 3 {
+				panic("boom")
+			}
+		})
+	}()
+	if ran.Load() != 8 {
+		t.Errorf("%d items ran, want all 8 despite the panic", ran.Load())
+	}
+	ok := false
+	p.ForEach(1, func(int, int) { ok = true })
+	if !ok {
+		t.Error("pool unusable after a panicking batch")
+	}
+}
+
+// TestPoolCloseReapsWorkers checks Close terminates the parked worker
+// goroutines and is idempotent.
+func TestPoolCloseReapsWorkers(t *testing.T) {
+	base := runtime.NumGoroutine()
+	p := NewPool(5)
+	p.ForEach(16, func(int, int) {})
+	p.Close()
+	p.Close() // idempotent
+	var nilPool *Pool
+	nilPool.Close() // no-op
+	deadline := time.Now().Add(5 * time.Second)
+	for runtime.NumGoroutine() > base {
+		if time.Now().After(deadline) {
+			t.Fatalf("%d goroutines after Close, baseline %d", runtime.NumGoroutine(), base)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TestPoolForEachAllocs pins the steady-state cost of a batch: the
+// reused foreachState means dispatch allocates nothing on the caller's
+// side, which is what keeps per-job morsel scheduling off the alloc
+// profile.
+func TestPoolForEachAllocs(t *testing.T) {
+	p := NewPool(4)
+	defer p.Close()
+	fn := func(int, int) {}
+	p.ForEach(32, fn) // warm up
+	if avg := testing.AllocsPerRun(50, func() { p.ForEach(32, fn) }); avg > 0 {
+		t.Errorf("ForEach allocates %.1f objects per batch, want 0", avg)
+	}
+}

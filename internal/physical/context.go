@@ -1,6 +1,8 @@
 package physical
 
 import (
+	"runtime"
+
 	"cliquesquare/internal/core"
 	"cliquesquare/internal/dstore"
 	"cliquesquare/internal/mapreduce"
@@ -9,14 +11,21 @@ import (
 )
 
 // ExecContext carries cross-layer execution state threaded from the
-// engine facade down to the per-node workers: the parallelism settings
-// handed to the mapreduce runtime, an optional per-job stats sink, and
-// the reusable scratch (per-node arenas, shuffle buffers, plan-shaped
+// engine facade down to the workers: the parallelism settings handed
+// to the mapreduce runtime, an optional per-job stats sink, and the
+// reusable scratch (per-lane arenas, shuffle buffers, plan-shaped
 // intermediate tables) the executor draws from. One ExecContext may
 // serve many plan executions; the scratch amortizes allocations across
 // them. An ExecContext serves one execution at a time.
+//
+// A context built with NewExecContext owns a persistent mapreduce
+// worker pool, lazily spawned on first use and parked between jobs;
+// the owner must call Close to reap the workers. A zero-value context
+// (the path Executor.Execute takes when handed none) never spawns
+// persistent workers — its jobs use transient per-Run pools — so it
+// needs no Close.
 type ExecContext struct {
-	// Parallelism bounds the mapreduce worker pool (0 = GOMAXPROCS).
+	// Parallelism bounds the mapreduce worker lanes (0 = GOMAXPROCS).
 	Parallelism int
 	// Sequential forces the single-goroutine mapreduce runtime.
 	Sequential bool
@@ -24,6 +33,14 @@ type ExecContext struct {
 	// completes (before the next job starts).
 	StatsSink func(mapreduce.JobStats)
 
+	// pooled marks contexts that own a persistent worker pool.
+	pooled bool
+	closed bool
+	pool   *mapreduce.Pool
+
+	// arenas is per-lane scratch: morsels of one node may run on any
+	// lane, so mutable evaluation state is keyed by the lane a morsel
+	// runs on, not by node.
 	arenas []*arena
 
 	// shuffle is the reusable mapreduce shuffle scratch handed to the
@@ -34,24 +51,108 @@ type ExecContext struct {
 	// dense by ID and, per reduce join, its output rows per node.
 	byID   []*Info
 	interm [][][]mapreduce.Row
+
+	// morsels is the per-node map-morsel table of the current job,
+	// built sequentially before the job runs.
+	morsels [][]mapMorsel
+
+	// ranges is the per-(node, range) reduce accumulation: ReduceRange
+	// morsels fill disjoint slots, ReduceFinish merges a node's slots
+	// in range order. Sized node-major at nodes×laneCount.
+	ranges     []rangeSlot
+	rangeWidth int
 }
 
-// NewExecContext returns a context with the given parallelism degree.
+// rangeSlot is one key range's reduce-join accumulation: output rows,
+// per-group output counts and first-production order, per info ID —
+// the range-local shard of what a whole-node reduce used to build.
+type rangeSlot struct {
+	rows   [][]mapreduce.Row
+	counts [][]int32
+	order  []int32
+}
+
+// reset empties the slot for n infos.
+func (s *rangeSlot) reset(n int) {
+	s.rows = nodeRowBufs(s.rows, n)
+	for len(s.counts) < n {
+		s.counts = append(s.counts, nil)
+	}
+	s.counts = s.counts[:n]
+	for i := range s.counts {
+		s.counts[i] = s.counts[i][:0]
+	}
+	s.order = s.order[:0]
+}
+
+// mapMorsel is one schedulable unit of a reduce-level job's map phase:
+// one child of one reduce join on one node — split per partition file
+// for scans, whole-subtree for map joins and shufflers.
+type mapMorsel struct {
+	rj    *Info    // the reduce join being fed
+	child *core.Op // the child producing records
+	ci    *Info    // child's classification (nil for per-file scans)
+	tag   int      // child index within rj (the Keyed Tag)
+	file  string   // partition file for per-file scan morsels
+}
+
+// NewExecContext returns a context with the given parallelism degree
+// that owns a persistent worker pool; callers must Close it.
 func NewExecContext(parallelism int) *ExecContext {
-	return &ExecContext{Parallelism: parallelism}
+	return &ExecContext{Parallelism: parallelism, pooled: true}
 }
 
-// ensureNodes sizes the per-node arena set before jobs run, so the
-// concurrent per-node workers index it without synchronization.
-func (c *ExecContext) ensureNodes(n int) {
-	for len(c.arenas) < n {
+// laneCount is the number of worker lanes executions through this
+// context use (mirrors the mapreduce runtime's resolution).
+func (c *ExecContext) laneCount() int {
+	if c.Sequential {
+		return 1
+	}
+	p := c.Parallelism
+	if p <= 0 {
+		p = runtime.GOMAXPROCS(0)
+	}
+	if p < 1 {
+		p = 1
+	}
+	return p
+}
+
+// workerPool returns the context's persistent pool, spawning it on
+// first use. Contexts that don't own a pool (or are closed) return
+// nil, making the mapreduce runtime fall back to transient lanes.
+func (c *ExecContext) workerPool() *mapreduce.Pool {
+	if !c.pooled || c.closed {
+		return nil
+	}
+	if c.pool == nil && c.laneCount() > 1 {
+		c.pool = mapreduce.NewPool(c.laneCount())
+	}
+	return c.pool
+}
+
+// Close reaps the context's persistent worker pool (if any). The
+// context must be idle; afterwards executions through it use transient
+// lanes. Closing twice is a no-op.
+func (c *ExecContext) Close() {
+	c.closed = true
+	if c.pool != nil {
+		c.pool.Close()
+		c.pool = nil
+	}
+}
+
+// ensureLanes sizes the per-lane arena set before jobs run, so the
+// concurrent morsel workers index it without synchronization.
+func (c *ExecContext) ensureLanes() {
+	for len(c.arenas) < c.laneCount() {
 		c.arenas = append(c.arenas, &arena{})
 	}
 }
 
-// arenaFor returns node's scratch arena. Within one job phase a node
-// runs on a single goroutine, so the arena needs no locking.
-func (c *ExecContext) arenaFor(node int) *arena { return c.arenas[node] }
+// arenaFor returns a lane's scratch arena. A lane runs one morsel at a
+// time, so the arena needs no locking.
+func (c *ExecContext) arenaFor(lane int) *arena { return c.arenas[lane] }
 
 // shuffleScratch returns the context's reusable mapreduce scratch.
 func (c *ExecContext) shuffleScratch() *mapreduce.Scratch {
@@ -83,6 +184,35 @@ func (c *ExecContext) intermSlots(n int) [][][]mapreduce.Row {
 	return c.interm[:n]
 }
 
+// morselTable returns the per-node morsel lists at n nodes, each reset
+// empty.
+func (c *ExecContext) morselTable(n int) [][]mapMorsel {
+	for len(c.morsels) < n {
+		c.morsels = append(c.morsels, nil)
+	}
+	c.morsels = c.morsels[:n]
+	for i := range c.morsels {
+		c.morsels[i] = c.morsels[i][:0]
+	}
+	return c.morsels
+}
+
+// rangeSlots sizes the reduce accumulation table for nodes×width
+// ranges and returns it (slots are reset lazily by their range).
+func (c *ExecContext) rangeSlots(nodes, width int) []rangeSlot {
+	need := nodes * width
+	for len(c.ranges) < need {
+		c.ranges = append(c.ranges, rangeSlot{})
+	}
+	c.rangeWidth = width
+	return c.ranges[:need]
+}
+
+// rangeSlot returns the accumulation slot of (node, rng).
+func (c *ExecContext) rangeSlot(node, rng int) *rangeSlot {
+	return &c.ranges[node*c.rangeWidth+rng]
+}
+
 // nodeRowBufs returns n per-node row buffers, each reset to length
 // zero but keeping its backing array.
 func nodeRowBufs(buf [][]mapreduce.Row, n int) [][]mapreduce.Row {
@@ -96,10 +226,10 @@ func nodeRowBufs(buf [][]mapreduce.Row, n int) [][]mapreduce.Row {
 	return buf
 }
 
-// arena is one node's reusable scratch for local evaluation: the join
-// tables, cursor slices and key-cell buffers naryJoin and the shuffle
-// emitters need per call, scan filter scratch, reduce-group input and
-// accumulation buffers, plus a slab allocator for output rows. Scratch
+// arena is one worker lane's reusable scratch for local evaluation:
+// the join tables, cursor slices and key-cell buffers naryJoin and the
+// shuffle emitters need per call, scan filter scratch, reduce-group
+// input buffers, plus a slab allocator for output rows. Scratch
 // buffers are reused across calls; slab rows are never reused (they
 // escape into relations and results), only allocated in large chunks.
 type arena struct {
@@ -127,14 +257,12 @@ type arena struct {
 	fileView  *partition.View
 	fileNames map[fileKey][]string
 
-	// reduce-phase scratch: per-group join inputs (groupRels), per-info
-	// output accumulation (rjRows) with per-group output counts
-	// (rjCounts), the first-output order of infos (rjOrder), and the
-	// hoisted final-projection columns (projCols).
+	// reduce-phase scratch: per-group join inputs (groupRels), the
+	// finish pass's merged info order (rjOrder) with its seen marks
+	// (rjSeen), and the hoisted final-projection columns (projCols).
 	groupRels []relation
-	rjRows    [][]mapreduce.Row
-	rjCounts  [][]int32
 	rjOrder   []int32
+	rjSeen    []bool
 	projCols  []int
 }
 
@@ -166,26 +294,14 @@ func (a *arena) relBuf(nc int) []relation {
 	return a.groupRels[:nc]
 }
 
-// rjAccum returns the per-info output accumulation buffers at length
-// n, each reset empty.
-func (a *arena) rjAccum(n int) [][]mapreduce.Row {
-	a.rjRows = nodeRowBufs(a.rjRows, n)
-	return a.rjRows
-}
-
-// rjCountBufs returns the per-info group-count buffers at length n,
-// each reset empty.
-func (a *arena) rjCountBufs(n int) [][]int32 {
-	b := a.rjCounts
-	for len(b) < n {
-		b = append(b, nil)
+// seenBuf returns the per-info seen marks at length n. Callers must
+// clear every mark they set before returning (cheaper than zeroing n).
+func (a *arena) seenBuf(n int) []bool {
+	if cap(a.rjSeen) < n {
+		a.rjSeen = make([]bool, n)
 	}
-	b = b[:n]
-	for i := range b {
-		b[i] = b[i][:0]
-	}
-	a.rjCounts = b
-	return b
+	a.rjSeen = a.rjSeen[:n]
+	return a.rjSeen
 }
 
 // joinPlan is the memoized schema-derived scaffolding of one join

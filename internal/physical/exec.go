@@ -11,10 +11,11 @@ import (
 )
 
 // Executor runs compiled physical plans on a simulated cluster over
-// partitioned data. Its per-node evaluation (scans, map joins, reduce
-// joins) is safe for the cluster's concurrent runtime: all shared state
-// (plan, partitioner, dictionary, store) is read-only during execution,
-// and mutable scratch lives in the ExecContext's per-node arenas.
+// partitioned data. Its evaluation (scans, map joins, reduce joins) is
+// safe for the cluster's concurrent morsel runtime: all shared state
+// (plan, partitioner, dictionary, store) is read-only during
+// execution, and mutable scratch lives in the ExecContext's per-lane
+// arenas.
 //
 // An Executor (with its Cluster and ExecContext) serves one Execute
 // call at a time; the Plan it executes is shared and immutable, so
@@ -24,8 +25,13 @@ type Executor struct {
 	Cluster *mapreduce.Cluster
 	Part    *partition.Partitioner
 	Dict    *rdf.Dict
-	// Ctx carries parallelism settings, the stats sink and the per-node
-	// arenas; nil means a fresh default context (full parallelism).
+	// Ctx carries parallelism settings, the stats sink and the
+	// per-lane arenas; nil means a fresh default context inheriting
+	// the Cluster's runtime settings. Execute never mutates the
+	// Cluster's own configuration — runtime settings travel through
+	// the job-run call path (RunWith options), so a directly
+	// constructed Cluster keeps whatever Parallelism/Sequential/
+	// Scratch its owner set.
 	Ctx *ExecContext
 	// View, if non-nil, is the partition epoch the execution reads.
 	// When nil, Execute pins the partitioner's current view. Either
@@ -54,10 +60,15 @@ type Result struct {
 	DataVersion uint64
 }
 
-// runJob executes one job on the cluster and forwards its stats to the
-// context's sink, if any.
+// runJob executes one job on the cluster under the context's runtime
+// settings and forwards its stats to the context's sink, if any.
 func (x *Executor) runJob(job mapreduce.Job) *mapreduce.Output {
-	out := x.Cluster.Run(job)
+	out := x.Cluster.RunWith(job, mapreduce.RunOptions{
+		Sequential: x.Ctx.Sequential,
+		Workers:    x.Ctx.Parallelism,
+		Pool:       x.Ctx.workerPool(),
+		Scratch:    x.Ctx.shuffleScratch(),
+	})
 	if x.Ctx.StatsSink != nil {
 		x.Ctx.StatsSink(x.Cluster.Jobs[len(x.Cluster.Jobs)-1])
 	}
@@ -72,15 +83,14 @@ func (x *Executor) Execute(pp *Plan) (*Result, error) {
 		// No explicit context: inherit the cluster's runtime settings,
 		// so directly constructed Executors keep their Cluster
 		// configuration (an explicit Ctx is authoritative instead).
+		// The implicit context owns no persistent pool, so it needs no
+		// Close.
 		x.Ctx = &ExecContext{
 			Parallelism: x.Cluster.Parallelism,
 			Sequential:  x.Cluster.Sequential,
 		}
 	}
-	x.Ctx.ensureNodes(x.Cluster.N())
-	x.Cluster.Parallelism = x.Ctx.Parallelism
-	x.Cluster.Sequential = x.Ctx.Sequential
-	x.Cluster.Scratch = x.Ctx.shuffleScratch()
+	x.Ctx.ensureLanes()
 	// Pin one partition epoch for the whole execution: every scan of
 	// every job reads this snapshot, whatever writers commit meanwhile.
 	x.view = x.View
@@ -93,10 +103,13 @@ func (x *Executor) Execute(pp *Plan) (*Result, error) {
 
 	var finalRows []mapreduce.Row
 	if pp.MapOnly() {
+		// A map-only plan stays one morsel per node: its single
+		// metered projection check covers the node's whole output, so
+		// splitting would restructure the charge sequence.
 		out := x.runJob(mapreduce.Job{
 			Name: fmt.Sprintf("%s-map-only", q.Name),
-			Map: func(node int, m *mapreduce.Meter, emit func(mapreduce.Keyed), out func(mapreduce.Row)) {
-				a := x.Ctx.arenaFor(node)
+			MapMorsel: func(node, _, lane int, m *mapreduce.Meter, emit func(mapreduce.Keyed), out func(mapreduce.Row)) {
+				a := x.Ctx.arenaFor(lane)
 				rel := x.evalLocal(pp, pp.Root, node, m, "", a)
 				proj := rel.project(a, q.Select)
 				m.Check(&x.Cluster.C, len(proj.rows))
@@ -110,9 +123,8 @@ func (x *Executor) Execute(pp *Plan) (*Result, error) {
 		// byID resolves infos densely by ID; interm[id] holds a reduce
 		// join's output rows per node, pre-sized so empty joins still
 		// have empty (not nil) per-node slices — and so concurrent
-		// per-node workers write disjoint slots of already-built
-		// tables. Both live in the context and are reused across
-		// executions.
+		// morsel workers write disjoint slots of already-built tables.
+		// Both live in the context and are reused across executions.
 		nInfo := len(pp.Infos)
 		byID := x.Ctx.infoSlots(nInfo)
 		interm := x.Ctx.intermSlots(nInfo)
@@ -122,55 +134,35 @@ func (x *Executor) Execute(pp *Plan) (*Result, error) {
 				interm[in.ID] = nodeRowBufs(interm[in.ID], x.Cluster.N())
 			}
 		}
+		lanes := x.Ctx.laneCount()
+		x.Ctx.rangeSlots(x.Cluster.N(), lanes)
 		for l, infos := range pp.Levels {
-			level := infos
 			isLast := l == len(pp.Levels)-1
+			// The map side of the level splits into sub-node morsels:
+			// one per (reduce join, child) — and per partition file
+			// for scan children — so parallelism isn't capped at the
+			// node count. The table is built sequentially here;
+			// morsels of one node may then run on any lane.
+			morsels := x.buildMorsels(pp, infos)
 			out := x.runJob(mapreduce.Job{
 				Name: fmt.Sprintf("%s-job%d", q.Name, l+1),
-				Map: func(node int, m *mapreduce.Meter, emit func(mapreduce.Keyed), out func(mapreduce.Row)) {
-					a := x.Ctx.arenaFor(node)
-					for _, rj := range level {
-						gid := uint32(rj.ID)
-						for i, c := range rj.Op.Children {
-							ci := pp.Infos[c]
-							var rel relation
-							if ci.Kind == KindReduceJoin {
-								// Map shuffler: re-read the previous
-								// job's output and re-emit re-keyed.
-								rows := interm[ci.ID][node]
-								m.Read(&x.Cluster.C, len(rows))
-								m.Write(&x.Cluster.C, len(rows))
-								rel = relation{schema: c.Attrs, rows: rows}
-							} else {
-								rel = x.evalLocal(pp, c, node, m, rj.Op.JoinAttrs[0], a)
-							}
-							// Key columns are resolved once per child
-							// relation; each record then packs an
-							// allocation-free binary key.
-							a.emitCols = rel.appendCols(a.emitCols[:0], rj.Op.JoinAttrs)
-							for _, row := range rel.rows {
-								emit(mapreduce.Keyed{
-									Key: mapreduce.MakeRowKey(gid, row, a.emitCols),
-									Tag: i,
-									Row: row,
-								})
-							}
-						}
-					}
+				MapMorsels: func(node int) int {
+					return len(morsels[node])
 				},
-				Reduce: func(node int, m *mapreduce.Meter, groups *mapreduce.Groups, out func(mapreduce.Row)) {
-					a := x.Ctx.arenaFor(node)
-					// Per-info accumulation: each group's join output is
-					// appended to its info's single node-local row
-					// buffer, with per-group counts retained so the
-					// final-projection metering below charges groups in
-					// the exact order they were produced. Groups arrive
-					// in canonical key order (the seed's sorted-string
-					// order), so the floating-point metering sums and
-					// row order are reproducible.
-					rjRows := a.rjAccum(nInfo)
-					rjCounts := a.rjCountBufs(nInfo)
-					order := a.rjOrder[:0]
+				MapMorsel: func(node, morsel, lane int, m *mapreduce.Meter, emit func(mapreduce.Keyed), out func(mapreduce.Row)) {
+					x.runMapMorsel(pp, &morsels[node][morsel], node, lane, m, emit)
+				},
+				// The reduce side runs per key range: each range joins
+				// its groups into a private (node, range) slot, and
+				// the finish pass merges the slots in range order —
+				// range order concatenates back to the node's
+				// canonical group order, so join charges, projection
+				// checks and output rows replay the sequential sweep
+				// exactly.
+				ReduceRange: func(node, rng, _, lane int, m *mapreduce.Meter, groups *mapreduce.Groups, out func(mapreduce.Row)) {
+					a := x.Ctx.arenaFor(lane)
+					s := x.Ctx.rangeSlot(node, rng)
+					s.reset(nInfo)
 					groups.Each(func(key *mapreduce.Key, recs []mapreduce.Keyed) {
 						rj := byID[int(key.Group())]
 						id := rj.ID
@@ -184,22 +176,42 @@ func (x *Executor) Execute(pp *Plan) (*Result, error) {
 							rels[rec.Tag].rows = append(rels[rec.Tag].rows, rec.Row)
 						}
 						var counts joinCounts
-						before := len(rjRows[id])
-						rjRows[id], counts = a.naryJoinInto(rjRows[id], rels, rj.Op.JoinAttrs, rj.Op.Attrs)
+						before := len(s.rows[id])
+						s.rows[id], counts = a.naryJoinInto(s.rows[id], rels, rj.Op.JoinAttrs, rj.Op.Attrs)
 						m.Join(&x.Cluster.C, counts.in+counts.out)
 						m.Write(&x.Cluster.C, counts.out)
-						if produced := len(rjRows[id]) - before; produced > 0 {
-							if len(rjCounts[id]) == 0 {
-								order = append(order, int32(id))
+						if produced := len(s.rows[id]) - before; produced > 0 {
+							if len(s.counts[id]) == 0 {
+								s.order = append(s.order, int32(id))
 							}
-							rjCounts[id] = append(rjCounts[id], int32(produced))
+							s.counts[id] = append(s.counts[id], int32(produced))
 						}
 					})
+				},
+				ReduceFinish: func(node, ranges, lane int, m *mapreduce.Meter, out func(mapreduce.Row)) {
+					a := x.Ctx.arenaFor(lane)
+					// Merge the ranges' first-production orders into
+					// the node's global one (ranges partition the
+					// canonical group order, so first production
+					// globally is first production in the earliest
+					// range mentioning the info).
+					seen := a.seenBuf(nInfo)
+					order := a.rjOrder[:0]
+					for rng := 0; rng < ranges; rng++ {
+						for _, id32 := range x.Ctx.rangeSlot(node, rng).order {
+							if !seen[id32] {
+								seen[id32] = true
+								order = append(order, id32)
+							}
+						}
+					}
 					a.rjOrder = order
+					for _, id32 := range order {
+						seen[id32] = false
+					}
 					for _, id32 := range order {
 						id := int(id32)
 						rj := byID[id]
-						rows := rjRows[id]
 						if isLast && rj.Op == pp.Root {
 							// Final projection onto the SELECT list,
 							// with the columns resolved once and each
@@ -207,22 +219,28 @@ func (x *Executor) Execute(pp *Plan) (*Result, error) {
 							rel := relation{schema: rj.Op.Attrs}
 							cols := rel.appendCols(a.projCols[:0], q.Select)
 							a.projCols = cols
-							pos := 0
-							for _, cnt := range rjCounts[id] {
-								grp := rows[pos : pos+int(cnt)]
-								pos += int(cnt)
-								m.Check(&x.Cluster.C, len(grp))
-								for _, row := range grp {
-									nr := a.newRow(len(cols))
-									for i, c := range cols {
-										nr[i] = row[c]
+							for rng := 0; rng < ranges; rng++ {
+								s := x.Ctx.rangeSlot(node, rng)
+								rows := s.rows[id]
+								pos := 0
+								for _, cnt := range s.counts[id] {
+									grp := rows[pos : pos+int(cnt)]
+									pos += int(cnt)
+									m.Check(&x.Cluster.C, len(grp))
+									for _, row := range grp {
+										nr := a.newRow(len(cols))
+										for i, c := range cols {
+											nr[i] = row[c]
+										}
+										out(nr)
 									}
-									out(nr)
 								}
 							}
 							continue
 						}
-						interm[id][node] = append(interm[id][node], rows...)
+						for rng := 0; rng < ranges; rng++ {
+							interm[id][node] = append(interm[id][node], x.Ctx.rangeSlot(node, rng).rows[id]...)
+						}
 					}
 				},
 			})
@@ -232,8 +250,7 @@ func (x *Executor) Execute(pp *Plan) (*Result, error) {
 		}
 	}
 
-	finalRows = dedupe(finalRows)
-	sortRows(finalRows)
+	finalRows = x.finishRows(finalRows)
 	res := &Result{
 		Schema:      append([]string(nil), q.Select...),
 		Rows:        finalRows,
@@ -247,12 +264,162 @@ func (x *Executor) Execute(pp *Plan) (*Result, error) {
 	return res, nil
 }
 
+// finishRows produces the canonical result set — distinct rows in
+// sorted order — using the context's worker pool for large results.
+func (x *Executor) finishRows(rows []mapreduce.Row) []mapreduce.Row {
+	var pool *mapreduce.Pool
+	if !x.Ctx.Sequential {
+		pool = x.Ctx.workerPool()
+	}
+	return dedupeSortRows(rows, pool)
+}
+
+// buildMorsels lays out one job level's map morsels per node, in the
+// canonical (reduce join, child, file) order a sequential per-node
+// sweep evaluates: one morsel per map-shuffler or map-join child, one
+// morsel per present partition file for scan children. Scans whose
+// constants miss the dictionary produce no morsels (they charge and
+// emit nothing anywhere).
+func (x *Executor) buildMorsels(pp *Plan, level []*Info) [][]mapMorsel {
+	n := x.Cluster.N()
+	tbl := x.Ctx.morselTable(n)
+	a := x.Ctx.arenaFor(0)
+	for _, rj := range level {
+		for i, c := range rj.Op.Children {
+			ci := pp.Infos[c]
+			if ci.Kind == KindScan {
+				tp := pp.Logical.Query.Patterns[c.Pattern]
+				if x.scanFilters(tp, c, a) {
+					continue
+				}
+				pos := x.Part.ScanPos(scanPosition(tp, rj.Op.JoinAttrs[0]))
+				names := x.scanFileNames(a, c, tp, pos)
+				for node := 0; node < n; node++ {
+					nd := x.view.Node(node)
+					for _, fname := range names {
+						if _, ok := nd.Get(fname); ok {
+							tbl[node] = append(tbl[node], mapMorsel{rj: rj, child: c, ci: ci, tag: i, file: fname})
+						}
+					}
+				}
+				continue
+			}
+			for node := 0; node < n; node++ {
+				tbl[node] = append(tbl[node], mapMorsel{rj: rj, child: c, ci: ci, tag: i})
+			}
+		}
+	}
+	return tbl
+}
+
+// runMapMorsel evaluates one map morsel: a map shuffler re-emitting
+// the previous job's output, one partition file of a scan, or a whole
+// map-join subtree — re-keyed for the reduce join it feeds.
+func (x *Executor) runMapMorsel(pp *Plan, mo *mapMorsel, node, lane int, m *mapreduce.Meter, emit func(mapreduce.Keyed)) {
+	a := x.Ctx.arenaFor(lane)
+	gid := uint32(mo.rj.ID)
+	if mo.ci.Kind == KindReduceJoin {
+		// Map shuffler: re-read the previous job's output and re-emit
+		// re-keyed.
+		rows := x.Ctx.interm[mo.ci.ID][node]
+		m.Read(&x.Cluster.C, len(rows))
+		m.Write(&x.Cluster.C, len(rows))
+		rel := relation{schema: mo.child.Attrs, rows: rows}
+		a.emitCols = rel.appendCols(a.emitCols[:0], mo.rj.Op.JoinAttrs)
+		for _, row := range rows {
+			emit(mapreduce.Keyed{Key: mapreduce.MakeRowKey(gid, row, a.emitCols), Tag: mo.tag, Row: row})
+		}
+		return
+	}
+	if mo.file != "" {
+		x.scanFileEmit(pp, mo, node, lane, m, emit, a)
+		return
+	}
+	rel := x.evalLocal(pp, mo.child, node, m, mo.rj.Op.JoinAttrs[0], a)
+	a.emitCols = rel.appendCols(a.emitCols[:0], mo.rj.Op.JoinAttrs)
+	for _, row := range rel.rows {
+		emit(mapreduce.Keyed{Key: mapreduce.MakeRowKey(gid, row, a.emitCols), Tag: mo.tag, Row: row})
+	}
+}
+
+// scanFileEmit evaluates one partition file of a scan child and emits
+// its matching rows keyed for the reduce join: the per-file morsel
+// fuses gathering with emission, so the file's rows are touched once
+// and no intermediate relation is materialized. Charges (Read, then
+// Check when filtered) and emissions per file are exactly the
+// sequential scan's; concatenated in file order they reproduce the
+// whole-scan sequence.
+func (x *Executor) scanFileEmit(pp *Plan, mo *mapMorsel, node, lane int, m *mapreduce.Meter, emit func(mapreduce.Keyed), a *arena) {
+	op := mo.child
+	tp := pp.Logical.Query.Patterns[op.Pattern]
+	if x.scanFilters(tp, op, a) {
+		return
+	}
+	consts, varPos, repeats := a.scanConsts, a.scanVarPos, a.scanRepeats
+	f, ok := x.view.Node(node).Get(mo.file)
+	if !ok {
+		return
+	}
+	m.Read(&x.Cluster.C, f.NumRows())
+	if len(consts) > 0 || len(repeats) > 0 {
+		m.Check(&x.Cluster.C, f.NumRows())
+	}
+	sf := scanFile{f: f}
+	for _, cc := range consts {
+		if cc.pos == rdf.PPos {
+			continue
+		}
+		ids := f.Lookup(int(cc.pos), cc.id)
+		if !sf.useIdx || len(ids) < len(sf.cand) {
+			sf.cand, sf.useIdx = ids, true
+		}
+		if len(sf.cand) == 0 {
+			break
+		}
+	}
+	rel := relation{schema: op.Attrs}
+	a.emitCols = rel.appendCols(a.emitCols[:0], mo.rj.Op.JoinAttrs)
+	cols := a.emitCols
+	gid := uint32(mo.rj.ID)
+	tag := mo.tag
+	w := len(varPos)
+	slab := f.Slab()
+	fw := f.Width()
+	emitRow := func(c []rdf.TermID) {
+		for _, cc := range consts {
+			if c[cc.pos] != cc.id {
+				return
+			}
+		}
+		for _, rp := range repeats {
+			if c[rp[0]] != c[rp[1]] {
+				return
+			}
+		}
+		outRow := a.newRow(w)
+		for i, p := range varPos {
+			outRow[i] = c[p]
+		}
+		emit(mapreduce.Keyed{Key: mapreduce.MakeRowKey(gid, outRow, cols), Tag: tag, Row: outRow})
+	}
+	if sf.useIdx {
+		for _, ri := range sf.cand {
+			base := int(ri) * fw
+			emitRow(slab[base : base+fw])
+		}
+		return
+	}
+	for base := 0; base+fw <= len(slab); base += fw {
+		emitRow(slab[base : base+fw])
+	}
+}
+
 // evalLocal evaluates a scan or map-join subtree on one node. coVar is
 // the partition variable context for scans: the attribute whose
 // partition replica the scan must read so co-located joins see
 // co-partitioned inputs. Map joins impose their own first join
-// attribute on their children. It runs concurrently across nodes; all
-// mutable scratch lives in the node's arena.
+// attribute on their children. It runs concurrently across lanes; all
+// mutable scratch lives in the lane's arena.
 func (x *Executor) evalLocal(pp *Plan, op *core.Op, node int, m *mapreduce.Meter, coVar string, a *arena) relation {
 	switch op.Kind {
 	case core.OpMatch:
@@ -299,23 +466,12 @@ func (x *Executor) scanFileNames(a *arena, op *core.Op, tp sparql.TriplePattern,
 	return names
 }
 
-// scan reads one triple pattern's matching tuples from this node's
-// replica partitioned on coVar's position (Section 5.1 file layout),
-// applying the pattern's constant and repeated-variable filters.
-// Constant-bound patterns probe the dstore's CSR posting-list indexes
-// (the most selective constant's row-id selection vector) instead of
-// filtering the file row by row; unconstrained scans sweep the file's
-// contiguous cell slab directly. The metering is unchanged either way
-// — the simulated Hadoop mapper still reads and checks the whole file,
-// the index only spares the simulator's own CPU.
-func (x *Executor) scan(pp *Plan, op *core.Op, node int, m *mapreduce.Meter, coVar string, a *arena) relation {
-	tp := pp.Logical.Query.Patterns[op.Pattern]
-	pos := x.Part.ScanPos(scanPosition(tp, coVar))
-	rel := relation{schema: op.Attrs}
-
-	// Precompute constant checks and variable extraction columns into
-	// the arena's scratch (reused across scan calls; a scan finishes
-	// before the node's next one starts).
+// scanFilters resolves a pattern's constant checks, variable
+// extraction columns and repeated-variable filters into the arena's
+// scratch (a.scanConsts, a.scanVarPos, a.scanRepeats), reporting
+// whether the scan is impossible (a constant missing from the
+// dictionary — such a scan reads, charges and emits nothing).
+func (x *Executor) scanFilters(tp sparql.TriplePattern, op *core.Op, a *arena) bool {
 	consts := a.scanConsts[:0]
 	impossible := false
 	for _, p := range []rdf.Pos{rdf.SPos, rdf.PPos, rdf.OPos} {
@@ -332,7 +488,7 @@ func (x *Executor) scan(pp *Plan, op *core.Op, node int, m *mapreduce.Meter, coV
 	}
 	a.scanConsts = consts
 	if impossible {
-		return rel
+		return true
 	}
 	varPos := a.scanVarPos[:0]
 	repeats := a.scanRepeats[:0]
@@ -352,6 +508,27 @@ func (x *Executor) scan(pp *Plan, op *core.Op, node int, m *mapreduce.Meter, coV
 	}
 	a.scanVarPos = varPos
 	a.scanRepeats = repeats
+	return false
+}
+
+// scan reads one triple pattern's matching tuples from this node's
+// replica partitioned on coVar's position (Section 5.1 file layout),
+// applying the pattern's constant and repeated-variable filters.
+// Constant-bound patterns probe the dstore's CSR posting-list indexes
+// (the most selective constant's row-id selection vector) instead of
+// filtering the file row by row; unconstrained scans sweep the file's
+// contiguous cell slab directly. The metering is unchanged either way
+// — the simulated Hadoop mapper still reads and checks the whole file,
+// the index only spares the simulator's own CPU.
+func (x *Executor) scan(pp *Plan, op *core.Op, node int, m *mapreduce.Meter, coVar string, a *arena) relation {
+	tp := pp.Logical.Query.Patterns[op.Pattern]
+	pos := x.Part.ScanPos(scanPosition(tp, coVar))
+	rel := relation{schema: op.Attrs}
+
+	if x.scanFilters(tp, op, a) {
+		return rel
+	}
+	consts, varPos, repeats := a.scanConsts, a.scanVarPos, a.scanRepeats
 
 	nd := x.view.Node(node)
 	needCheck := len(consts) > 0 || len(repeats) > 0

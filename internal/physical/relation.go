@@ -271,12 +271,6 @@ func dedupe(rows []mapreduce.Row) []mapreduce.Row {
 // sortRows orders rows lexicographically for deterministic output.
 func sortRows(rows []mapreduce.Row) {
 	sort.Slice(rows, func(i, j int) bool {
-		a, b := rows[i], rows[j]
-		for k := 0; k < len(a) && k < len(b); k++ {
-			if a[k] != b[k] {
-				return a[k] < b[k]
-			}
-		}
-		return len(a) < len(b)
+		return rowLess(rows[i], rows[j])
 	})
 }

@@ -1,0 +1,70 @@
+package physical
+
+import "cliquesquare/internal/mapreduce"
+
+// parallelSortMin is the result size below which the final
+// dedupe+sort runs single-threaded: chunking and merging only pay for
+// themselves on large result sets.
+const parallelSortMin = 4096
+
+// rowLess is the canonical result order: lexicographic by cell, then
+// by length. It is total on distinct rows, which is what makes the
+// parallel path below exact — any algorithm producing the sorted
+// distinct set yields byte-identical output.
+func rowLess(a, b mapreduce.Row) bool {
+	for k := 0; k < len(a) && k < len(b); k++ {
+		if a[k] != b[k] {
+			return a[k] < b[k]
+		}
+	}
+	return len(a) < len(b)
+}
+
+// dedupeSortRows produces the canonical result set — distinct rows in
+// rowLess order — equal to dedupe followed by sortRows. Large inputs
+// split into per-lane chunks sorted concurrently on the pool, then a
+// k-way merge emits rows in order, dropping duplicates as they meet
+// (equal rows are adjacent across chunk heads under a total order).
+func dedupeSortRows(rows []mapreduce.Row, pool *mapreduce.Pool) []mapreduce.Row {
+	if pool.Lanes() <= 1 || len(rows) < parallelSortMin {
+		rows = dedupe(rows)
+		sortRows(rows)
+		return rows
+	}
+	chunks := pool.Lanes()
+	per := (len(rows) + chunks - 1) / chunks
+	type span struct{ lo, hi int }
+	spans := make([]span, 0, chunks)
+	for lo := 0; lo < len(rows); lo += per {
+		hi := lo + per
+		if hi > len(rows) {
+			hi = len(rows)
+		}
+		spans = append(spans, span{lo, hi})
+	}
+	pool.ForEach(len(spans), func(i, _ int) {
+		sortRows(rows[spans[i].lo:spans[i].hi])
+	})
+	out := make([]mapreduce.Row, 0, len(rows))
+	idx := make([]int, len(spans))
+	for {
+		best := -1
+		for si := range spans {
+			p := spans[si].lo + idx[si]
+			if p >= spans[si].hi {
+				continue
+			}
+			if best == -1 || rowLess(rows[p], rows[spans[best].lo+idx[best]]) {
+				best = si
+			}
+		}
+		if best == -1 {
+			return out
+		}
+		r := rows[spans[best].lo+idx[best]]
+		idx[best]++
+		if len(out) == 0 || !rowEqual(out[len(out)-1], r) {
+			out = append(out, r)
+		}
+	}
+}

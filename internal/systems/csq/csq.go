@@ -92,10 +92,16 @@ type Engine struct {
 	// cache maps canonical query fingerprints to versioned plan
 	// entries; nil when caching is disabled.
 	cache *plancache.Cache[*cacheEntry]
-	// ctxPool recycles ExecContexts (and their per-node scratch
-	// arenas) across plan executions; concurrent executions each get
-	// their own context.
-	ctxPool sync.Pool
+	// ctxMu guards the explicit ExecContext free list. Contexts are
+	// recycled (with their per-lane arenas and parked worker pools)
+	// across plan executions; concurrent executions each get their
+	// own context. An explicit list — not a sync.Pool — because each
+	// pooled context owns persistent worker goroutines that Close must
+	// reap deterministically, and a sync.Pool drops entries on GC
+	// without running any finalizer.
+	ctxMu     sync.Mutex
+	ctxFree   []*physical.ExecContext
+	ctxClosed bool
 
 	// stateMu guards the graph+partitioner pair as one unit: ApplyBatch
 	// holds the write side across graph mutation and epoch commit, and
@@ -326,16 +332,51 @@ func (e *Engine) Plan(q *sparql.Query) (*core.Plan, *physical.Plan, *core.Result
 	return out.chosen, out.pp, out.res, nil
 }
 
-// execContext takes a context from the pool (or builds one from the
-// config) for one plan execution.
+// execContext takes a context from the free list (or builds one from
+// the config) for one plan execution. Engine-owned contexts are
+// pooled: their morsel worker lanes park between queries and are
+// reaped by Engine.Close.
 func (e *Engine) execContext() *physical.ExecContext {
-	if c, ok := e.ctxPool.Get().(*physical.ExecContext); ok && c != nil {
+	e.ctxMu.Lock()
+	if n := len(e.ctxFree); n > 0 {
+		c := e.ctxFree[n-1]
+		e.ctxFree = e.ctxFree[:n-1]
+		e.ctxMu.Unlock()
 		return c
 	}
-	return &physical.ExecContext{
-		Parallelism: e.cfg.Parallelism,
-		Sequential:  e.cfg.Sequential,
-		StatsSink:   e.cfg.StatsSink,
+	e.ctxMu.Unlock()
+	c := physical.NewExecContext(e.cfg.Parallelism)
+	c.Sequential = e.cfg.Sequential
+	c.StatsSink = e.cfg.StatsSink
+	return c
+}
+
+// putContext returns an idle context to the free list — or closes it
+// immediately when the engine shut down while the execution was in
+// flight, so no worker goroutines outlive Close's return by more than
+// the draining execution itself.
+func (e *Engine) putContext(c *physical.ExecContext) {
+	e.ctxMu.Lock()
+	if e.ctxClosed {
+		e.ctxMu.Unlock()
+		c.Close()
+		return
+	}
+	e.ctxFree = append(e.ctxFree, c)
+	e.ctxMu.Unlock()
+}
+
+// closeContexts reaps every pooled context's worker lanes and marks
+// the list closed, so late putContext calls close their contexts
+// inline.
+func (e *Engine) closeContexts() {
+	e.ctxMu.Lock()
+	free := e.ctxFree
+	e.ctxFree = nil
+	e.ctxClosed = true
+	e.ctxMu.Unlock()
+	for _, c := range free {
+		c.Close()
 	}
 }
 
@@ -349,7 +390,7 @@ func (e *Engine) ExecutePlan(pp *physical.Plan) (*physical.Result, error) {
 		return nil, ErrClosed
 	}
 	ctx := e.execContext()
-	defer e.ctxPool.Put(ctx)
+	defer e.putContext(ctx)
 	// Pin the epoch in the partitioner's registry for the duration:
 	// the durable compactor's watermark then never garbage-collects
 	// the WAL generation this execution is reading.

@@ -432,15 +432,20 @@ func (d *durableState) close() error {
 // Close shuts the engine down. In durable mode it flushes the
 // group-commit queue (every already-accepted batch is still committed
 // and acknowledged), stops the compactor, syncs and closes the WAL.
-// After Close every entry point returns ErrClosed. Close is idempotent.
+// It then reaps the pooled execution contexts' parked morsel workers —
+// after the durable drain, so a flushing batch never races the
+// runtime teardown. After Close every entry point returns ErrClosed.
+// Close is idempotent.
 func (e *Engine) Close() error {
 	if !e.closed.CompareAndSwap(false, true) {
 		return nil
 	}
+	var err error
 	if e.dur != nil {
-		return e.dur.close()
+		err = e.dur.close()
 	}
-	return nil
+	e.closeContexts()
+	return err
 }
 
 // Compact forces a checkpoint + WAL garbage collection now and reports
