@@ -17,13 +17,13 @@ import (
 
 const (
 	// workloadAllocCeiling bounds allocs per execution of the whole
-	// 14-query LUBM workload (measured ≈4.0k after the columnar
-	// rewrite; the seed was ≈21k).
-	workloadAllocCeiling = 6000
+	// 14-query LUBM workload (measured ≈3.6k after the morsel-driven
+	// runtime; the seed was ≈21k).
+	workloadAllocCeiling = 4000
 	// shuffleHeavyAllocCeiling bounds allocs per execution of the
-	// deepest multi-level reduce-join plan (measured ≈0.5k after the
-	// rewrite; the seed was ≈6.2k).
-	shuffleHeavyAllocCeiling = 1500
+	// deepest multi-level reduce-join plan (measured ≈0.3k after the
+	// morsel rewrite; the seed was ≈6.2k).
+	shuffleHeavyAllocCeiling = 400
 )
 
 // raceEnabled is set by race_test.go under -race: the detector's

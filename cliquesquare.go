@@ -75,6 +75,14 @@ type Options struct {
 	// identical results and statistics — the cache only removes
 	// repeated optimizer work.
 	PlanCacheSize int
+	// ResultCacheBytes, when positive, enables the subplan result
+	// cache with that byte budget: executed job results (materialized
+	// intermediate relations plus their recorded charge traces) are
+	// cached per (job signature, data epoch) and reused across queries
+	// sharing structure, with rows and simulated JobStats
+	// byte-identical to an uncached run. Committed batches invalidate
+	// all entries (the epoch is part of the key). 0 disables it.
+	ResultCacheBytes int64
 	// Durable, when non-nil, attaches a write-ahead log: every applied
 	// batch is fsynced (group-committed) before it is acknowledged,
 	// and Open recovers the engine after a crash. Nil keeps the
@@ -179,6 +187,7 @@ func (opts Options) config() (csq.Config, error) {
 		cfg.Parallelism = opts.Parallelism
 	}
 	cfg.PlanCacheSize = opts.PlanCacheSize
+	cfg.ResultCacheBytes = opts.ResultCacheBytes
 	return cfg, nil
 }
 
@@ -340,6 +349,12 @@ type CacheStats = plancache.Stats
 // CacheStats snapshots the engine's plan cache activity: hits, misses
 // (= optimizer runs), evictions and resident entries.
 func (e *Engine) CacheStats() CacheStats { return e.inner.CacheStats() }
+
+// ResultCacheStats snapshots the subplan result cache: hits and misses
+// count job-level probes, Bytes is the resident weight of cached
+// results, EvictedBytes the cumulative weight dropped by the byte
+// budget. All zero when Options.ResultCacheBytes is unset.
+func (e *Engine) ResultCacheStats() CacheStats { return e.inner.ResultCacheStats() }
 
 // Query parses and evaluates src, returning decoded results. Repeated
 // query shapes hit the plan cache (see Prepare).

@@ -12,6 +12,7 @@
 //	benchcheck -baseline BENCH_pr2.json -new BENCH_pr6.json [-ns-slack 0.30]
 //	benchcheck -churn BENCH_pr7.json [-max-write-amp 20]
 //	benchcheck -scaling BENCH_pr8.json [-min-speedup 1.2]
+//	benchcheck -serving BENCH_pr9.json [-min-serving-speedup 1.0]
 //
 // Benchmarks present only in the baseline are ignored (old benchmarks
 // may be retired); benchmarks present only in the new file pass (no
@@ -29,6 +30,10 @@
 // fewer than four cores the gate skips (exit 0) — a near-serial
 // machine cannot demonstrate parallel speedup, only CI-class runners
 // enforce it.
+//
+// The fourth form gates a serving report produced with -rescache: the
+// result cache must have taken real hits and cached QPS must reach the
+// minimum multiple of the uncached baseline measured in the same run.
 package main
 
 import (
@@ -258,6 +263,59 @@ func checkScaling(path string, minSpeedup float64) {
 	}
 }
 
+// servingReport is the subset of the csq-bench serving JSON the gate
+// reads. The rescache block is a pointer so a report produced without
+// -rescache fails loudly instead of gating zeros.
+type servingReport struct {
+	Rescache *struct {
+		UncachedQPS float64 `json:"uncached_qps"`
+		CachedQPS   float64 `json:"cached_qps"`
+		Speedup     float64 `json:"speedup"`
+		Hits        uint64  `json:"hits"`
+		Misses      uint64  `json:"misses"`
+		HitRate     float64 `json:"hit_rate"`
+	} `json:"rescache"`
+}
+
+// checkServing gates one serving report: the result cache comparison
+// must be present, the cache must have served real hits, and cached QPS
+// must reach minSpeedup times the uncached QPS from the same run.
+func checkServing(path string, minSpeedup float64) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchcheck: %v\n", err)
+		os.Exit(2)
+	}
+	var r servingReport
+	if err := json.Unmarshal(data, &r); err != nil {
+		fmt.Fprintf(os.Stderr, "benchcheck: %s: %v\n", path, err)
+		os.Exit(2)
+	}
+	if r.Rescache == nil {
+		fmt.Fprintf(os.Stderr, "benchcheck: %s has no rescache block (run csq-bench -exp=serving -rescache=...)\n", path)
+		os.Exit(2)
+	}
+	rc := r.Rescache
+	failed := false
+	check := func(ok bool, format string, args ...any) {
+		verdict := "ok"
+		if !ok {
+			verdict = "FAIL"
+			failed = true
+		}
+		fmt.Printf("%s  %s\n", verdict, fmt.Sprintf(format, args...))
+	}
+	check(rc.Misses > 0 && rc.Hits > 0, "result cache exercised (%d hits, %d misses, %.1f%% hit rate)",
+		rc.Hits, rc.Misses, 100*rc.HitRate)
+	check(rc.UncachedQPS > 0 && rc.CachedQPS > 0, "both passes measured (%.0f uncached, %.0f cached QPS)",
+		rc.UncachedQPS, rc.CachedQPS)
+	check(rc.Speedup >= minSpeedup, "cached serving %.2fx uncached (gate %.2fx)", rc.Speedup, minSpeedup)
+	if failed {
+		fmt.Fprintf(os.Stderr, "benchcheck: cached serving below %.2fx uncached\n", minSpeedup)
+		os.Exit(1)
+	}
+}
+
 func main() {
 	baselinePath := flag.String("baseline", "", "baseline results (go test -json), e.g. the committed BENCH_pr2.json")
 	newPath := flag.String("new", "", "new results (go test -json) to check against the baseline")
@@ -266,6 +324,8 @@ func main() {
 	maxWriteAmp := flag.Float64("max-write-amp", 20, "with -churn: maximum allowed durable write amplification")
 	scalingPath := flag.String("scaling", "", "scaling report JSON to gate (csq-bench -exp=scaling -out); replaces -baseline/-new")
 	minSpeedup := flag.Float64("min-speedup", 1.2, "with -scaling: required parallel speedup over sequential on the workload curve")
+	servingPath := flag.String("serving", "", "serving report JSON to gate (csq-bench -exp=serving -rescache -out); replaces -baseline/-new")
+	minServingSpeedup := flag.Float64("min-serving-speedup", 1.0, "with -serving: required cached-over-uncached QPS multiple")
 	flag.Parse()
 	if *churnPath != "" {
 		checkChurn(*churnPath, *maxWriteAmp)
@@ -273,6 +333,10 @@ func main() {
 	}
 	if *scalingPath != "" {
 		checkScaling(*scalingPath, *minSpeedup)
+		return
+	}
+	if *servingPath != "" {
+		checkServing(*servingPath, *minServingSpeedup)
 		return
 	}
 	if *baselinePath == "" || *newPath == "" {

@@ -47,6 +47,7 @@ func main() {
 	writers := flag.Int("writers", 2, "churn: concurrent writer goroutines")
 	batch := flag.Int("batch", 200, "churn: max triples per update batch")
 	walDir := flag.String("wal", "", "churn: write-ahead-log directory; enables durable mode with write-amplification and crash-recovery measurement")
+	rescache := flag.Int64("rescache", 0, "serving: subplan result cache budget in bytes (0 disables); reports cached-vs-uncached QPS side by side")
 	out := flag.String("out", "", "serving/churn/scaling: write metrics JSON to this file")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the selected experiments to this file")
 	memprofile := flag.String("memprofile", "", "write an allocation profile taken after the experiments to this file")
@@ -103,7 +104,7 @@ func main() {
 	run("workload", func() error { return workload(cc) })
 	run("plans", func() error { return plans(cc) })
 	run("systems", func() error { return systemsCmp(cc) })
-	run("serving", func() error { return serving(cc, *clients, *requests, *out) })
+	run("serving", func() error { return serving(cc, *clients, *requests, *rescache, *out) })
 	run("churn", func() error { return churn(cc, *clients, *requests, *writers, *batch, *walDir, *out) })
 	run("scaling", func() error { return scaling(cc, *out) })
 }

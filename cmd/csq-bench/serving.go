@@ -11,10 +11,13 @@ import (
 	"cliquesquare"
 	"cliquesquare/internal/experiments"
 	"cliquesquare/internal/lubm"
+	"cliquesquare/internal/sparql"
 )
 
 // servingMetrics is the JSON shape of the concurrent-serving report
-// (the BENCH_pr3.json CI artifact).
+// (the BENCH_pr3.json CI artifact; with -rescache it additionally
+// carries the cached-vs-uncached comparison and becomes
+// BENCH_pr9.json).
 type servingMetrics struct {
 	Universities int     `json:"universities"`
 	Nodes        int     `json:"nodes"`
@@ -26,37 +29,52 @@ type servingMetrics struct {
 	P50Ms        float64 `json:"p50_ms"`
 	P95Ms        float64 `json:"p95_ms"`
 	P99Ms        float64 `json:"p99_ms"`
-	ColdP50Ms    float64 `json:"cold_p50_ms"` // latency of cache-miss requests
-	HitP50Ms     float64 `json:"hit_p50_ms"`  // latency of cache-hit requests
+	ColdP50Ms    float64 `json:"cold_p50_ms"` // latency of plan-cache-miss requests
+	HitP50Ms     float64 `json:"hit_p50_ms"`  // latency of plan-cache-hit requests
 	CacheHits    uint64  `json:"cache_hits"`
 	CacheMisses  uint64  `json:"cache_misses"`
 	HitRate      float64 `json:"hit_rate"`
+
+	// Rescache reports the subplan result cache comparison when the
+	// serving run was driven with -rescache.
+	Rescache *rescacheMetrics `json:"rescache,omitempty"`
 }
 
-// serving drives one engine with -clients concurrent goroutines, each
-// issuing -requests queries drawn round-robin (staggered per client)
-// from the LUBM mix, and reports QPS, latency percentiles and plan
-// cache behaviour. Every response is checked against the first answer
-// seen for its query, so the benchmark doubles as a smoke test that
-// concurrent cached serving stays deterministic.
-func serving(cc experiments.ClusterConfig, clients, requests int, outPath string) error {
-	fmt.Printf("== Concurrent serving: %d clients x %d requests (LUBM, %d universities, %d nodes) ==\n",
-		clients, requests, cc.Universities, cc.Nodes)
-	g := lubm.Generate(lubm.DefaultConfig(cc.Universities))
-	eng, err := cliquesquare.NewEngine(g, cliquesquare.Options{Nodes: cc.Nodes})
-	if err != nil {
-		return err
-	}
-	qs := lubm.Queries()
+// rescacheMetrics is the cached-vs-uncached serving comparison: the
+// same workload driven against an engine without and with the subplan
+// result cache.
+type rescacheMetrics struct {
+	BudgetBytes   int64   `json:"budget_bytes"`
+	UncachedQPS   float64 `json:"uncached_qps"`
+	CachedQPS     float64 `json:"cached_qps"`
+	Speedup       float64 `json:"speedup"`
+	Hits          uint64  `json:"hits"`
+	Misses        uint64  `json:"misses"`
+	HitRate       float64 `json:"hit_rate"`
+	BytesResident int64   `json:"bytes_resident"`
+	EvictedBytes  uint64  `json:"evicted_bytes"`
+}
 
+// servingRun is one measured drive of the workload against an engine.
+type servingRun struct {
+	all, cold, hit []time.Duration
+	answers        map[string]int // query -> row count of first answer
+	wall           time.Duration
+}
+
+// drive issues clients × requests queries round-robin (staggered per
+// client) from the LUBM mix against eng, checking every response
+// against the first answer seen for its query so the benchmark doubles
+// as a smoke test that concurrent cached serving stays deterministic.
+func drive(eng *cliquesquare.Engine, qs []*sparql.Query, clients, requests int) (*servingRun, error) {
 	type sample struct {
 		d      time.Duration
 		cached bool
 	}
 	perClient := make([][]sample, clients)
+	run := &servingRun{answers: make(map[string]int)}
 	var (
 		mu       sync.Mutex
-		answers  = make(map[string]int) // query -> row count of first answer
 		mismatch error
 	)
 	start := time.Now()
@@ -86,8 +104,8 @@ func serving(cc experiments.ClusterConfig, clients, requests int, outPath string
 				}
 				samples = append(samples, sample{d: d, cached: res.PlanCached})
 				mu.Lock()
-				if n, ok := answers[q.Name]; !ok {
-					answers[q.Name] = len(res.Rows)
+				if n, ok := run.answers[q.Name]; !ok {
+					run.answers[q.Name] = len(res.Rows)
 				} else if n != len(res.Rows) {
 					mismatch = fmt.Errorf("%s: %d rows, first answer had %d", q.Name, len(res.Rows), n)
 				}
@@ -97,39 +115,102 @@ func serving(cc experiments.ClusterConfig, clients, requests int, outPath string
 		}(c)
 	}
 	wg.Wait()
-	wall := time.Since(start)
+	run.wall = time.Since(start)
 	if mismatch != nil {
-		return mismatch
+		return nil, mismatch
 	}
-
-	var all, cold, hit []time.Duration
 	for _, samples := range perClient {
 		for _, s := range samples {
-			all = append(all, s.d)
+			run.all = append(run.all, s.d)
 			if s.cached {
-				hit = append(hit, s.d)
+				run.hit = append(run.hit, s.d)
 			} else {
-				cold = append(cold, s.d)
+				run.cold = append(run.cold, s.d)
 			}
 		}
 	}
-	st := eng.CacheStats()
+	return run, nil
+}
+
+func (r *servingRun) qps() float64 { return float64(len(r.all)) / r.wall.Seconds() }
+
+// serving drives the concurrent serving workload and reports QPS,
+// latency percentiles and plan cache behaviour. With rescacheBytes >
+// 0, the workload is driven twice over the same data — once without
+// and once with the subplan result cache — the answers are checked for
+// equality, and the report carries both QPS figures side by side.
+func serving(cc experiments.ClusterConfig, clients, requests int, rescacheBytes int64, outPath string) error {
+	fmt.Printf("== Concurrent serving: %d clients x %d requests (LUBM, %d universities, %d nodes) ==\n",
+		clients, requests, cc.Universities, cc.Nodes)
+	g := lubm.Generate(lubm.DefaultConfig(cc.Universities))
+	qs := lubm.Queries()
+
+	var rm *rescacheMetrics
+	if rescacheBytes > 0 {
+		// Baseline pass: same graph, no result cache.
+		base, err := cliquesquare.NewEngine(g, cliquesquare.Options{Nodes: cc.Nodes})
+		if err != nil {
+			return err
+		}
+		baseRun, err := drive(base, qs, clients, requests)
+		if err != nil {
+			return err
+		}
+		rm = &rescacheMetrics{BudgetBytes: rescacheBytes, UncachedQPS: baseRun.qps()}
+		eng, err := cliquesquare.NewEngine(g, cliquesquare.Options{Nodes: cc.Nodes, ResultCacheBytes: rescacheBytes})
+		if err != nil {
+			return err
+		}
+		run, err := drive(eng, qs, clients, requests)
+		if err != nil {
+			return err
+		}
+		for name, n := range baseRun.answers {
+			if run.answers[name] != n {
+				return fmt.Errorf("rescache: %s answered %d rows cached vs %d uncached", name, run.answers[name], n)
+			}
+		}
+		rs := eng.ResultCacheStats()
+		rm.CachedQPS = run.qps()
+		rm.Speedup = rm.CachedQPS / rm.UncachedQPS
+		rm.Hits = rs.Hits
+		rm.Misses = rs.Misses
+		rm.HitRate = rs.HitRate()
+		rm.BytesResident = rs.Bytes
+		rm.EvictedBytes = rs.EvictedBytes
+		return report(cc, clients, qs, run, eng.CacheStats(), rm, outPath)
+	}
+
+	eng, err := cliquesquare.NewEngine(g, cliquesquare.Options{Nodes: cc.Nodes})
+	if err != nil {
+		return err
+	}
+	run, err := drive(eng, qs, clients, requests)
+	if err != nil {
+		return err
+	}
+	return report(cc, clients, qs, run, eng.CacheStats(), nil, outPath)
+}
+
+// report prints the serving table and writes the JSON artifact.
+func report(cc experiments.ClusterConfig, clients int, qs []*sparql.Query, run *servingRun, st cliquesquare.CacheStats, rm *rescacheMetrics, outPath string) error {
 	m := servingMetrics{
 		Universities: cc.Universities,
 		Nodes:        cc.Nodes,
 		Clients:      clients,
-		Requests:     len(all),
+		Requests:     len(run.all),
 		Queries:      len(qs),
-		WallSeconds:  wall.Seconds(),
-		QPS:          float64(len(all)) / wall.Seconds(),
-		P50Ms:        percentileMs(all, 50),
-		P95Ms:        percentileMs(all, 95),
-		P99Ms:        percentileMs(all, 99),
-		ColdP50Ms:    percentileMs(cold, 50),
-		HitP50Ms:     percentileMs(hit, 50),
+		WallSeconds:  run.wall.Seconds(),
+		QPS:          run.qps(),
+		P50Ms:        percentileMs(run.all, 50),
+		P95Ms:        percentileMs(run.all, 95),
+		P99Ms:        percentileMs(run.all, 99),
+		ColdP50Ms:    percentileMs(run.cold, 50),
+		HitP50Ms:     percentileMs(run.hit, 50),
 		CacheHits:    st.Hits,
 		CacheMisses:  st.Misses,
 		HitRate:      st.HitRate(),
+		Rescache:     rm,
 	}
 
 	w := tw()
@@ -140,6 +221,11 @@ func serving(cc experiments.ClusterConfig, clients, requests int, outPath string
 	fmt.Fprintf(w, "cold p50 (cache miss)\t%.3f ms\n", m.ColdP50Ms)
 	fmt.Fprintf(w, "hit p50 (cache hit)\t%.3f ms\n", m.HitP50Ms)
 	fmt.Fprintf(w, "plan cache\t%d hits, %d misses (%.1f%% hit rate)\n", m.CacheHits, m.CacheMisses, 100*m.HitRate)
+	if rm != nil {
+		fmt.Fprintf(w, "result cache QPS\t%.0f cached vs %.0f uncached (%.2fx)\n", rm.CachedQPS, rm.UncachedQPS, rm.Speedup)
+		fmt.Fprintf(w, "result cache\t%d hits, %d misses (%.1f%% hit rate), %d bytes resident, %d evicted\n",
+			rm.Hits, rm.Misses, 100*rm.HitRate, rm.BytesResident, rm.EvictedBytes)
+	}
 	fmt.Fprintln(w)
 	if err := w.Flush(); err != nil {
 		return err

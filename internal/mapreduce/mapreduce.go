@@ -98,17 +98,12 @@ func (m *Meter) charge(lane uint8, v float64) {
 	}
 }
 
-// replay adds recorded charges in their recorded order.
+// replay adds recorded charges in their recorded order. It routes
+// through charge so a recorder attached to m (a job-level JobRecord
+// log) sees the replayed events too, in the same canonical order.
 func (m *Meter) replay(cs []charge) {
 	for _, c := range cs {
-		switch c.lane {
-		case chargeIO:
-			m.IO += c.v
-		case chargeCPU:
-			m.CPU += c.v
-		default:
-			m.Net += c.v
-		}
+		m.charge(c.lane, c.v)
 	}
 }
 
@@ -186,6 +181,94 @@ type JobStats struct {
 	Time          float64 // init + map + shuffle + reduce
 }
 
+// JobRecord is the complete metering trace of one executed job: every
+// charge that landed in every per-node meter, in the canonical order
+// the sequential runtime charges them, plus the job's integer
+// counters. Replaying a record (Cluster.Replay) reconstructs the job's
+// JobStats bit-identically — same float64 additions in the same order
+// — without running any map/shuffle/reduce work, which is what lets
+// the subplan result cache serve cached relations with stats
+// indistinguishable from an uncached run. Per-node charge sequences
+// are lane-count invariant (parallel replay order equals sequential
+// charge order), so one record is valid at every parallelism level.
+//
+// A record is bound to the cluster geometry (node count) and cost
+// constants it was captured under. It excludes the job name, which is
+// query-dependent; Replay takes the name to stamp on the stats.
+type JobRecord struct {
+	mapOnly       bool
+	shuffled      int
+	shuffledCells int
+	output        int
+	// Per-node charge logs in charge order: map morsels in morsel
+	// order, the single shuffle charge, reduce ranges in range order
+	// followed by the finish charges.
+	mapNode  [][]charge
+	shufNode [][]charge
+	redNode  [][]charge
+}
+
+// MemBytes estimates the record's resident size for cache accounting.
+func (r *JobRecord) MemBytes() int64 {
+	const chargeSize = 16 // charge{uint8, float64} with padding
+	const sliceHeader = 24
+	b := int64(128) // struct + counters
+	for _, set := range [][][]charge{r.mapNode, r.shufNode, r.redNode} {
+		b += sliceHeader
+		for _, cs := range set {
+			b += sliceHeader + chargeSize*int64(cap(cs))
+		}
+	}
+	return b
+}
+
+// Replay appends a job to the cluster's stats as if the recorded job
+// had just run: JobStats (under the given name) and the total-work sum
+// accumulate bit-identically to an actual execution — per-node map
+// totals in node order, then per node the shuffle and reduce totals,
+// then the job-init charge, matching RunWith's merge order exactly.
+// The record must have been captured on a cluster with the same node
+// count and cost constants.
+func (cl *Cluster) Replay(name string, r *JobRecord) JobStats {
+	n := cl.N()
+	stats := JobStats{
+		Name:          name,
+		MapOnly:       r.mapOnly,
+		Shuffled:      r.shuffled,
+		ShuffledCells: r.shuffledCells,
+		Output:        r.output,
+	}
+	work := 0.0
+	for node := 0; node < n; node++ {
+		var m Meter
+		m.replay(r.mapNode[node])
+		if t := m.Total(); t > stats.MapTime {
+			stats.MapTime = t
+		}
+		work += m.Total()
+	}
+	if !r.mapOnly {
+		for node := 0; node < n; node++ {
+			var sm, rm Meter
+			sm.replay(r.shufNode[node])
+			rm.replay(r.redNode[node])
+			if t := sm.Total(); t > stats.ShuffleTime {
+				stats.ShuffleTime = t
+			}
+			work += sm.Total()
+			if t := rm.Total(); t > stats.ReduceTime {
+				stats.ReduceTime = t
+			}
+			work += rm.Total()
+		}
+	}
+	stats.Time = cl.C.JobInit + stats.MapTime + stats.ShuffleTime + stats.ReduceTime
+	work += cl.C.JobInit
+	cl.totalWork += work
+	cl.Jobs = append(cl.Jobs, stats)
+	return stats
+}
+
 // Cluster is a simulated MapReduce cluster over a shared file store.
 //
 // Phases run as morsels on a worker pool (RunWith), mirroring the real
@@ -230,6 +313,10 @@ type RunOptions struct {
 	Pool *Pool
 	// Scratch, if non-nil, provides the reusable buffers.
 	Scratch *Scratch
+	// Record, if non-nil, captures the job's full charge trace and
+	// counters into it (see JobRecord). The record's charge slices are
+	// freshly allocated — they outlive the run and any Scratch reuse.
+	Record *JobRecord
 }
 
 // laneState is one lane's current morsel bindings: where its emit and
@@ -553,6 +640,16 @@ func (cl *Cluster) RunWith(job Job, opts RunOptions) *Output {
 	outputs := intBufs(&sc.outputs, nSlots)
 	mapOut := rowBufs(&sc.mapOut, nSlots)
 	mapMeters := meterBufs(&sc.mapM, n)
+	// A job-level recorder tees every charge landing in a node meter —
+	// charged directly (sequential) or replayed from morsel logs
+	// (parallel) — into the JobRecord, in canonical order either way.
+	rec := opts.Record
+	if rec != nil {
+		rec.mapNode = make([][]charge, n)
+		for i := range mapMeters {
+			mapMeters[i].rec = &rec.mapNode[i]
+		}
+	}
 	var charges [][]charge
 	var morselM []Meter
 	if !seq {
@@ -618,6 +715,14 @@ func (cl *Cluster) RunWith(job Job, opts RunOptions) *Output {
 		shuffled := keyedBufs(&sc.shuffled, n)
 		shufMeters := meterBufs(&sc.shufM, n)
 		redMeters := meterBufs(&sc.redM, n)
+		if rec != nil {
+			rec.shufNode = make([][]charge, n)
+			rec.redNode = make([][]charge, n)
+			for i := 0; i < n; i++ {
+				shufMeters[i].rec = &rec.shufNode[i]
+				redMeters[i].rec = &rec.redNode[i]
+			}
+		}
 		rangeOff := int32SliceBufs(&sc.rangeOff, n)
 		maxRanges := 1
 		if job.ReduceRange != nil {
@@ -794,6 +899,12 @@ func (cl *Cluster) RunWith(job Job, opts RunOptions) *Output {
 	work += cl.C.JobInit
 	cl.totalWork += work
 	cl.Jobs = append(cl.Jobs, stats)
+	if rec != nil {
+		rec.mapOnly = stats.MapOnly
+		rec.shuffled = stats.Shuffled
+		rec.shuffledCells = stats.ShuffledCells
+		rec.output = stats.Output
+	}
 	return out
 }
 

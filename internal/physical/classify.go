@@ -74,6 +74,11 @@ type Plan struct {
 	// Levels[ℓ-1] lists the reduce joins of job ℓ in a deterministic
 	// order. Empty iff the plan is map-only.
 	Levels [][]*Info
+	// JobKeys canonically identify each job's computation for the
+	// subplan result cache: JobKeys[l] keys job l+1 (JobKeys[0] the
+	// single job of a map-only plan). Two jobs with equal keys over the
+	// same data epoch produce byte-identical rows and charges.
+	JobKeys []string
 }
 
 // CoLocator decides whether a first-level join's scan inputs are
@@ -180,7 +185,43 @@ func CompileWith(p *core.Plan, canColocate CoLocator) (*Plan, error) {
 		}
 		lay(pp.Root, seen)
 	}
+	pp.buildJobKeys(p.Query)
 	return pp, nil
+}
+
+// buildJobKeys renders one content key per job. A key must pin down
+// everything besides the data epoch (which the result cache layers in)
+// that shapes the job's rows and recorded charges: the content
+// signatures of the level's reduce joins (covering their whole
+// subtrees, children in order), their plan-global IDs — shuffle
+// routing and record sort order derive from the ID — and,
+// transitively, every earlier level's key, because the job re-reads
+// those jobs' intermediate output whose row order depends on their IDs
+// in turn. The final job appends the SELECT list its projection
+// targets. Building the keys here also warms every operator's memoized
+// content signature before the immutable Plan is shared across
+// goroutines.
+func (pp *Plan) buildJobKeys(q *sparql.Query) {
+	sel := strings.Join(q.Select, ",")
+	if pp.MapOnly() {
+		pp.JobKeys = []string{"MO|" + pp.Root.ContentSignature(q) + "|S:" + sel}
+		return
+	}
+	pp.JobKeys = make([]string, len(pp.Levels))
+	prev := ""
+	for l, infos := range pp.Levels {
+		var b strings.Builder
+		b.WriteString(prev)
+		fmt.Fprintf(&b, "L%d", l+1)
+		for _, in := range infos {
+			fmt.Fprintf(&b, "|%d:%s", in.ID, in.Op.ContentSignature(q))
+		}
+		if l == len(pp.Levels)-1 {
+			b.WriteString("|S:" + sel)
+		}
+		pp.JobKeys[l] = b.String()
+		prev = pp.JobKeys[l] + "\n"
+	}
 }
 
 // MapOnly reports whether the whole plan evaluates in a single map-only

@@ -7,6 +7,7 @@ import (
 	"cliquesquare/internal/mapreduce"
 	"cliquesquare/internal/partition"
 	"cliquesquare/internal/rdf"
+	"cliquesquare/internal/rescache"
 	"cliquesquare/internal/sparql"
 )
 
@@ -40,6 +41,16 @@ type Executor struct {
 	// isolation), and Result.DataVersion reports the epoch served.
 	View *partition.View
 
+	// ResultCache, if non-nil, enables cross-query job result reuse:
+	// before running a job, Execute probes the cache under
+	// (Plan.JobKeys[l], view version); on a hit it serves the cached
+	// rows read-only and replays the recorded charges instead of
+	// executing, on a miss it executes with recording and admits the
+	// result. Rows and JobStats are byte-identical either way. The
+	// cache must belong to the same engine (same cluster geometry,
+	// cost constants, partitioning and dictionary) as the executor.
+	ResultCache *rescache.Cache
+
 	// view is the epoch pinned for the in-flight Execute call.
 	view *partition.View
 }
@@ -61,17 +72,37 @@ type Result struct {
 }
 
 // runJob executes one job on the cluster under the context's runtime
-// settings and forwards its stats to the context's sink, if any.
-func (x *Executor) runJob(job mapreduce.Job) *mapreduce.Output {
+// settings — capturing its charge trace into rec when non-nil — and
+// forwards its stats to the context's sink, if any.
+func (x *Executor) runJob(job mapreduce.Job, rec *mapreduce.JobRecord) *mapreduce.Output {
 	out := x.Cluster.RunWith(job, mapreduce.RunOptions{
 		Sequential: x.Ctx.Sequential,
 		Workers:    x.Ctx.Parallelism,
 		Pool:       x.Ctx.workerPool(),
 		Scratch:    x.Ctx.shuffleScratch(),
+		Record:     rec,
 	})
 	if x.Ctx.StatsSink != nil {
 		x.Ctx.StatsSink(x.Cluster.Jobs[len(x.Cluster.Jobs)-1])
 	}
+	return out
+}
+
+// replayJob appends a cached job's stats as if it had just run (see
+// mapreduce.Cluster.Replay) and forwards them to the stats sink.
+func (x *Executor) replayJob(name string, rec *mapreduce.JobRecord) {
+	x.Cluster.Replay(name, rec)
+	if x.Ctx.StatsSink != nil {
+		x.Ctx.StatsSink(x.Cluster.Jobs[len(x.Cluster.Jobs)-1])
+	}
+}
+
+// copyRowHeaders clones a cached row set's headers so callers never
+// alias cache-owned slices; the slab-backed cells are shared (they are
+// immutable once handed out).
+func copyRowHeaders(rows []mapreduce.Row) []mapreduce.Row {
+	out := make([]mapreduce.Row, len(rows))
+	copy(out, rows)
 	return out
 }
 
@@ -106,19 +137,37 @@ func (x *Executor) Execute(pp *Plan) (*Result, error) {
 		// A map-only plan stays one morsel per node: its single
 		// metered projection check covers the node's whole output, so
 		// splitting would restructure the charge sequence.
-		out := x.runJob(mapreduce.Job{
-			Name: fmt.Sprintf("%s-map-only", q.Name),
-			MapMorsel: func(node, _, lane int, m *mapreduce.Meter, emit func(mapreduce.Keyed), out func(mapreduce.Row)) {
-				a := x.Ctx.arenaFor(lane)
-				rel := x.evalLocal(pp, pp.Root, node, m, "", a)
-				proj := rel.project(a, q.Select)
-				m.Check(&x.Cluster.C, len(proj.rows))
-				for _, r := range proj.rows {
-					out(r)
-				}
-			},
-		})
-		finalRows = out.Rows()
+		name := fmt.Sprintf("%s-map-only", q.Name)
+		runMapOnly := func(rec *mapreduce.JobRecord) []mapreduce.Row {
+			out := x.runJob(mapreduce.Job{
+				Name: name,
+				MapMorsel: func(node, _, lane int, m *mapreduce.Meter, emit func(mapreduce.Keyed), out func(mapreduce.Row)) {
+					a := x.Ctx.arenaFor(lane)
+					rel := x.evalLocal(pp, pp.Root, node, m, "", a)
+					proj := rel.project(a, q.Select)
+					m.Check(&x.Cluster.C, len(proj.rows))
+					for _, r := range proj.rows {
+						out(r)
+					}
+				},
+			}, rec)
+			return x.finishRows(out.Rows())
+		}
+		if x.ResultCache != nil {
+			ent, hit, err := x.ResultCache.Do(pp.JobKeys[0], x.view.Version(), func() (*rescache.Entry, error) {
+				rec := &mapreduce.JobRecord{}
+				return rescache.NewEntry(rec, nil, runMapOnly(rec)), nil
+			})
+			if err != nil {
+				return nil, err
+			}
+			if hit {
+				x.replayJob(name, ent.Rec)
+			}
+			finalRows = copyRowHeaders(ent.Final)
+		} else {
+			finalRows = runMapOnly(nil)
+		}
 	} else {
 		// byID resolves infos densely by ID; interm[id] holds a reduce
 		// join's output rows per node, pre-sized so empty joins still
@@ -138,119 +187,167 @@ func (x *Executor) Execute(pp *Plan) (*Result, error) {
 		x.Ctx.rangeSlots(x.Cluster.N(), lanes)
 		for l, infos := range pp.Levels {
 			isLast := l == len(pp.Levels)-1
-			// The map side of the level splits into sub-node morsels:
-			// one per (reduce join, child) — and per partition file
-			// for scan children — so parallelism isn't capped at the
-			// node count. The table is built sequentially here;
-			// morsels of one node may then run on any lane.
-			morsels := x.buildMorsels(pp, infos)
-			out := x.runJob(mapreduce.Job{
-				Name: fmt.Sprintf("%s-job%d", q.Name, l+1),
-				MapMorsels: func(node int) int {
-					return len(morsels[node])
-				},
-				MapMorsel: func(node, morsel, lane int, m *mapreduce.Meter, emit func(mapreduce.Keyed), out func(mapreduce.Row)) {
-					x.runMapMorsel(pp, &morsels[node][morsel], node, lane, m, emit)
-				},
-				// The reduce side runs per key range: each range joins
-				// its groups into a private (node, range) slot, and
-				// the finish pass merges the slots in range order —
-				// range order concatenates back to the node's
-				// canonical group order, so join charges, projection
-				// checks and output rows replay the sequential sweep
-				// exactly.
-				ReduceRange: func(node, rng, _, lane int, m *mapreduce.Meter, groups *mapreduce.Groups, out func(mapreduce.Row)) {
-					a := x.Ctx.arenaFor(lane)
-					s := x.Ctx.rangeSlot(node, rng)
-					s.reset(nInfo)
-					groups.Each(func(key *mapreduce.Key, recs []mapreduce.Keyed) {
-						rj := byID[int(key.Group())]
-						id := rj.ID
-						rels := a.relBuf(len(rj.Op.Children))
-						for i, c := range rj.Op.Children {
-							rels[i].schema = c.Attrs
-							rels[i].rows = rels[i].rows[:0]
-						}
-						for ri := range recs {
-							rec := &recs[ri]
-							rels[rec.Tag].rows = append(rels[rec.Tag].rows, rec.Row)
-						}
-						var counts joinCounts
-						before := len(s.rows[id])
-						s.rows[id], counts = a.naryJoinInto(s.rows[id], rels, rj.Op.JoinAttrs, rj.Op.Attrs)
-						m.Join(&x.Cluster.C, counts.in+counts.out)
-						m.Write(&x.Cluster.C, counts.out)
-						if produced := len(s.rows[id]) - before; produced > 0 {
-							if len(s.counts[id]) == 0 {
-								s.order = append(s.order, int32(id))
+			name := fmt.Sprintf("%s-job%d", q.Name, l+1)
+			runLevel := func(rec *mapreduce.JobRecord) *mapreduce.Output {
+				// The map side of the level splits into sub-node morsels:
+				// one per (reduce join, child) — and per partition file
+				// for scan children — so parallelism isn't capped at the
+				// node count. The table is built sequentially here;
+				// morsels of one node may then run on any lane.
+				morsels := x.buildMorsels(pp, infos)
+				return x.runJob(mapreduce.Job{
+					Name: name,
+					MapMorsels: func(node int) int {
+						return len(morsels[node])
+					},
+					MapMorsel: func(node, morsel, lane int, m *mapreduce.Meter, emit func(mapreduce.Keyed), out func(mapreduce.Row)) {
+						x.runMapMorsel(pp, &morsels[node][morsel], node, lane, m, emit)
+					},
+					// The reduce side runs per key range: each range joins
+					// its groups into a private (node, range) slot, and
+					// the finish pass merges the slots in range order —
+					// range order concatenates back to the node's
+					// canonical group order, so join charges, projection
+					// checks and output rows replay the sequential sweep
+					// exactly.
+					ReduceRange: func(node, rng, _, lane int, m *mapreduce.Meter, groups *mapreduce.Groups, out func(mapreduce.Row)) {
+						a := x.Ctx.arenaFor(lane)
+						s := x.Ctx.rangeSlot(node, rng)
+						s.reset(nInfo)
+						groups.Each(func(key *mapreduce.Key, recs []mapreduce.Keyed) {
+							rj := byID[int(key.Group())]
+							id := rj.ID
+							rels := a.relBuf(len(rj.Op.Children))
+							for i, c := range rj.Op.Children {
+								rels[i].schema = c.Attrs
+								rels[i].rows = rels[i].rows[:0]
 							}
-							s.counts[id] = append(s.counts[id], int32(produced))
-						}
-					})
-				},
-				ReduceFinish: func(node, ranges, lane int, m *mapreduce.Meter, out func(mapreduce.Row)) {
-					a := x.Ctx.arenaFor(lane)
-					// Merge the ranges' first-production orders into
-					// the node's global one (ranges partition the
-					// canonical group order, so first production
-					// globally is first production in the earliest
-					// range mentioning the info).
-					seen := a.seenBuf(nInfo)
-					order := a.rjOrder[:0]
-					for rng := 0; rng < ranges; rng++ {
-						for _, id32 := range x.Ctx.rangeSlot(node, rng).order {
-							if !seen[id32] {
-								seen[id32] = true
-								order = append(order, id32)
+							for ri := range recs {
+								rec := &recs[ri]
+								rels[rec.Tag].rows = append(rels[rec.Tag].rows, rec.Row)
 							}
-						}
-					}
-					a.rjOrder = order
-					for _, id32 := range order {
-						seen[id32] = false
-					}
-					for _, id32 := range order {
-						id := int(id32)
-						rj := byID[id]
-						if isLast && rj.Op == pp.Root {
-							// Final projection onto the SELECT list,
-							// with the columns resolved once and each
-							// group's check charged in group order.
-							rel := relation{schema: rj.Op.Attrs}
-							cols := rel.appendCols(a.projCols[:0], q.Select)
-							a.projCols = cols
-							for rng := 0; rng < ranges; rng++ {
-								s := x.Ctx.rangeSlot(node, rng)
-								rows := s.rows[id]
-								pos := 0
-								for _, cnt := range s.counts[id] {
-									grp := rows[pos : pos+int(cnt)]
-									pos += int(cnt)
-									m.Check(&x.Cluster.C, len(grp))
-									for _, row := range grp {
-										nr := a.newRow(len(cols))
-										for i, c := range cols {
-											nr[i] = row[c]
-										}
-										out(nr)
-									}
+							var counts joinCounts
+							before := len(s.rows[id])
+							s.rows[id], counts = a.naryJoinInto(s.rows[id], rels, rj.Op.JoinAttrs, rj.Op.Attrs)
+							m.Join(&x.Cluster.C, counts.in+counts.out)
+							m.Write(&x.Cluster.C, counts.out)
+							if produced := len(s.rows[id]) - before; produced > 0 {
+								if len(s.counts[id]) == 0 {
+									s.order = append(s.order, int32(id))
+								}
+								s.counts[id] = append(s.counts[id], int32(produced))
+							}
+						})
+					},
+					ReduceFinish: func(node, ranges, lane int, m *mapreduce.Meter, out func(mapreduce.Row)) {
+						a := x.Ctx.arenaFor(lane)
+						// Merge the ranges' first-production orders into
+						// the node's global one (ranges partition the
+						// canonical group order, so first production
+						// globally is first production in the earliest
+						// range mentioning the info).
+						seen := a.seenBuf(nInfo)
+						order := a.rjOrder[:0]
+						for rng := 0; rng < ranges; rng++ {
+							for _, id32 := range x.Ctx.rangeSlot(node, rng).order {
+								if !seen[id32] {
+									seen[id32] = true
+									order = append(order, id32)
 								}
 							}
-							continue
 						}
-						for rng := 0; rng < ranges; rng++ {
-							interm[id][node] = append(interm[id][node], x.Ctx.rangeSlot(node, rng).rows[id]...)
+						a.rjOrder = order
+						for _, id32 := range order {
+							seen[id32] = false
 						}
+						for _, id32 := range order {
+							id := int(id32)
+							rj := byID[id]
+							if isLast && rj.Op == pp.Root {
+								// Final projection onto the SELECT list,
+								// with the columns resolved once and each
+								// group's check charged in group order.
+								rel := relation{schema: rj.Op.Attrs}
+								cols := rel.appendCols(a.projCols[:0], q.Select)
+								a.projCols = cols
+								for rng := 0; rng < ranges; rng++ {
+									s := x.Ctx.rangeSlot(node, rng)
+									rows := s.rows[id]
+									pos := 0
+									for _, cnt := range s.counts[id] {
+										grp := rows[pos : pos+int(cnt)]
+										pos += int(cnt)
+										m.Check(&x.Cluster.C, len(grp))
+										for _, row := range grp {
+											nr := a.newRow(len(cols))
+											for i, c := range cols {
+												nr[i] = row[c]
+											}
+											out(nr)
+										}
+									}
+								}
+								continue
+							}
+							for rng := 0; rng < ranges; rng++ {
+								interm[id][node] = append(interm[id][node], x.Ctx.rangeSlot(node, rng).rows[id]...)
+							}
+						}
+					},
+				}, rec)
+			}
+			if x.ResultCache == nil {
+				out := runLevel(nil)
+				if isLast {
+					finalRows = x.finishRows(out.Rows())
+				}
+				continue
+			}
+			ent, hit, err := x.ResultCache.Do(pp.JobKeys[l], x.view.Version(), func() (*rescache.Entry, error) {
+				rec := &mapreduce.JobRecord{}
+				out := runLevel(rec)
+				// Snapshot what the job produced: header copies of the
+				// level's intermediate rows (the context's own slices are
+				// recycled next execution) and, for the final job, the
+				// finished result set. The slab-backed cells are shared —
+				// handed out once, never mutated.
+				nNodes := x.Cluster.N()
+				snap := make([][][]mapreduce.Row, len(infos))
+				for i, in := range infos {
+					per := make([][]mapreduce.Row, nNodes)
+					for node := 0; node < nNodes; node++ {
+						per[node] = copyRowHeaders(interm[in.ID][node])
 					}
-				},
+					snap[i] = per
+				}
+				var final []mapreduce.Row
+				if isLast {
+					final = x.finishRows(out.Rows())
+				}
+				return rescache.NewEntry(rec, snap, final), nil
 			})
+			if err != nil {
+				return nil, err
+			}
+			if hit {
+				// Serve from cache: replay the recorded charges into the
+				// job log and restore the level's intermediate rows
+				// positionally — infos order is deterministic and the key
+				// pins the level's reduce-join IDs.
+				x.replayJob(name, ent.Rec)
+				for i := range ent.Interm {
+					id := infos[i].ID
+					for node, rows := range ent.Interm[i] {
+						interm[id][node] = append(interm[id][node], rows...)
+					}
+				}
+			}
 			if isLast {
-				finalRows = out.Rows()
+				finalRows = copyRowHeaders(ent.Final)
 			}
 		}
 	}
 
-	finalRows = x.finishRows(finalRows)
 	res := &Result{
 		Schema:      append([]string(nil), q.Select...),
 		Rows:        finalRows,

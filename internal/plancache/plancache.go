@@ -7,15 +7,28 @@
 // The cache is generic over the cached value; the engine stores
 // immutable *Prepared plans in it. Values must be safe to share: the
 // cache hands the same value to every caller of a key.
+//
+// Two eviction policies share the shard/singleflight machinery. New
+// builds the original entry-count LRU (the plan cache). NewSized builds
+// a byte-budgeted LRU: each completed value is weighed once on
+// admission and least-recently-used entries are evicted until the
+// resident weight fits the budget — the foundation the subplan result
+// cache (internal/rescache) builds on, where entries are materialized
+// relations of wildly different sizes.
 package plancache
 
 import (
+	"math"
 	"sync"
 	"sync/atomic"
 )
 
 // defaultCapacity is the entry cap used when New is given zero.
 const defaultCapacity = 256
+
+// defaultBudgetBytes is the byte budget used when NewSized is given
+// zero (64 MiB).
+const defaultBudgetBytes = 64 << 20
 
 // shardCount is the number of independent LRU shards. Keys are spread
 // by hash, so unrelated fingerprints contend on different locks.
@@ -33,6 +46,12 @@ type Stats struct {
 	Evictions uint64
 	// Entries is the current number of cached keys.
 	Entries int
+	// Bytes is the resident weight of completed entries; always zero
+	// for an entry-count cache (New), which does not weigh values.
+	Bytes int64
+	// EvictedBytes is the cumulative weight of evicted entries
+	// (byte-budget caches only).
+	EvictedBytes uint64
 }
 
 // HitRate is Hits / (Hits + Misses), or 0 before any lookup.
@@ -46,19 +65,26 @@ func (s Stats) HitRate() float64 {
 // Cache is a sharded LRU with singleflight value computation. The zero
 // value is not usable; construct with New.
 type Cache[V any] struct {
-	shards    []shard[V]
-	hits      atomic.Uint64
-	misses    atomic.Uint64
-	evictions atomic.Uint64
+	shards []shard[V]
+	// weigher, when non-nil, switches the cache from entry-count to
+	// byte-budget eviction (NewSized): every completed value is weighed
+	// exactly once, after its compute finishes.
+	weigher      func(V) int64
+	hits         atomic.Uint64
+	misses       atomic.Uint64
+	evictions    atomic.Uint64
+	evictedBytes atomic.Uint64
 }
 
 // entry is one cached key. ready is closed once val/err are set; LRU
-// links are guarded by the shard lock, val/err by the ready barrier.
+// links and weight are guarded by the shard lock, val/err by the ready
+// barrier.
 type entry[V any] struct {
 	key        string
 	ready      chan struct{}
 	val        V
 	err        error
+	weight     int64
 	prev, next *entry[V]
 }
 
@@ -66,6 +92,10 @@ type shard[V any] struct {
 	mu       sync.Mutex
 	m        map[string]*entry[V]
 	capacity int
+	// budget and bytes bound and track resident weight in byte-budget
+	// mode; budget is zero for an entry-count cache.
+	budget int64
+	bytes  int64
 	// Doubly-linked LRU list: head is most recently used. The sentinel
 	// root makes link manipulation branch-free.
 	root entry[V]
@@ -94,6 +124,71 @@ func New[V any](capacity int) *Cache[V] {
 		s.root.next = &s.root
 	}
 	return c
+}
+
+// NewSized returns a byte-budgeted cache: weigher is applied once to
+// every completed value and least-recently-used entries are evicted
+// until the resident weight fits the budget. The budget splits evenly
+// across the shards, so one shard's resident weight never exceeds
+// roughly budget/shardCount — a value heavier than that is returned to
+// its waiters but not retained. budgetBytes <= 0 means a default of
+// 64 MiB.
+func NewSized[V any](budgetBytes int64, weigher func(V) int64) *Cache[V] {
+	if budgetBytes <= 0 {
+		budgetBytes = defaultBudgetBytes
+	}
+	c := &Cache[V]{shards: make([]shard[V], shardCount), weigher: weigher}
+	per := (budgetBytes + shardCount - 1) / shardCount
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.m = make(map[string]*entry[V])
+		s.capacity = math.MaxInt // bounded by bytes, not entries
+		s.budget = per
+		s.root.prev = &s.root
+		s.root.next = &s.root
+	}
+	return c
+}
+
+// admit weighs a freshly computed entry against its shard's byte
+// budget: the weight joins the shard's resident bytes, then LRU tails
+// are evicted until the shard fits again (in-flight entries weigh
+// zero; their waiters still get their value). An entry evicted or
+// purged while it was computing is not accounted; one heavier than the
+// whole shard budget is dropped outright.
+func (c *Cache[V]) admit(s *shard[V], e *entry[V]) {
+	w := c.weigher(e.val)
+	var evicted []*entry[V]
+	s.mu.Lock()
+	if cur, ok := s.m[e.key]; !ok || cur != e {
+		s.mu.Unlock()
+		return
+	}
+	if w > s.budget {
+		s.unlink(e)
+		delete(s.m, e.key)
+		s.mu.Unlock()
+		c.evictions.Add(1)
+		c.evictedBytes.Add(uint64(w))
+		return
+	}
+	e.weight = w
+	s.bytes += w
+	for s.bytes > s.budget {
+		lru := s.root.prev
+		if lru == e || lru == &s.root {
+			break
+		}
+		s.unlink(lru)
+		delete(s.m, lru.key)
+		s.bytes -= lru.weight
+		evicted = append(evicted, lru)
+	}
+	s.mu.Unlock()
+	for _, ev := range evicted {
+		c.evictions.Add(1)
+		c.evictedBytes.Add(uint64(ev.weight))
+	}
 }
 
 // Do returns the value cached under key, computing it with compute on
@@ -149,6 +244,9 @@ func (c *Cache[V]) Do(key string, compute func() (V, error)) (v V, hit bool, err
 		s.mu.Unlock()
 		return v, false, e.err
 	}
+	if c.weigher != nil {
+		c.admit(s, e)
+	}
 	return e.val, false, nil
 }
 
@@ -186,13 +284,28 @@ func (c *Cache[V]) Len() int {
 	return n
 }
 
+// Bytes is the resident weight of completed entries (zero for an
+// entry-count cache).
+func (c *Cache[V]) Bytes() int64 {
+	var n int64
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		n += s.bytes
+		s.mu.Unlock()
+	}
+	return n
+}
+
 // Stats snapshots the cache counters.
 func (c *Cache[V]) Stats() Stats {
 	return Stats{
-		Hits:      c.hits.Load(),
-		Misses:    c.misses.Load(),
-		Evictions: c.evictions.Load(),
-		Entries:   c.Len(),
+		Hits:         c.hits.Load(),
+		Misses:       c.misses.Load(),
+		Evictions:    c.evictions.Load(),
+		Entries:      c.Len(),
+		Bytes:        c.Bytes(),
+		EvictedBytes: c.evictedBytes.Load(),
 	}
 }
 
@@ -223,12 +336,15 @@ func (c *Cache[V]) Range(fn func(key string, v V)) {
 	}
 }
 
-// Purge drops every cached entry (counters are kept).
+// Purge drops every cached entry (counters are kept; resident bytes
+// reset). In-flight computations still complete for their waiters but
+// are not re-admitted.
 func (c *Cache[V]) Purge() {
 	for i := range c.shards {
 		s := &c.shards[i]
 		s.mu.Lock()
 		s.m = make(map[string]*entry[V])
+		s.bytes = 0
 		s.root.prev = &s.root
 		s.root.next = &s.root
 		s.mu.Unlock()

@@ -186,3 +186,116 @@ func TestRangeReentrant(t *testing.T) {
 		t.Errorf("reentrant insert = %d, %v", v, ok)
 	}
 }
+
+// sizedSameShard returns distinct keys that all land in one shard of a
+// shardCount-sharded cache, so LRU/budget interactions are
+// deterministic in tests.
+func sizedSameShard(n int) []string {
+	want := shardIndex("anchor") % shardCount
+	keys := make([]string, 0, n)
+	for i := 0; keys == nil || len(keys) < n; i++ {
+		k := fmt.Sprintf("k-%d", i)
+		if shardIndex(k)%shardCount == want {
+			keys = append(keys, k)
+		}
+	}
+	return keys
+}
+
+func TestSizedAdmitAndBytes(t *testing.T) {
+	c := NewSized[int](8<<10, func(v int) int64 { return int64(v) })
+	c.Do("a", func() (int, error) { return 100, nil })
+	c.Do("b", func() (int, error) { return 250, nil })
+	if got := c.Bytes(); got != 350 {
+		t.Errorf("Bytes = %d, want 350", got)
+	}
+	st := c.Stats()
+	if st.Bytes != 350 || st.Entries != 2 || st.Evictions != 0 || st.EvictedBytes != 0 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestSizedEvictionOrder(t *testing.T) {
+	// Per-shard budget = ceil(800/8) = 100; entries weigh 40 — two fit
+	// per shard, a third evicts that shard's LRU tail.
+	c := NewSized[int](800, func(v int) int64 { return int64(v) })
+	keys := sizedSameShard(3)
+	c.Do(keys[0], func() (int, error) { return 40, nil })
+	c.Do(keys[1], func() (int, error) { return 40, nil })
+	// Touch keys[0] so keys[1] is the LRU tail.
+	if _, hit, _ := c.Do(keys[0], func() (int, error) { return 0, nil }); !hit {
+		t.Fatal("expected hit on touch")
+	}
+	c.Do(keys[2], func() (int, error) { return 40, nil })
+	if _, ok := c.Get(keys[1]); ok {
+		t.Error("LRU entry should have been evicted")
+	}
+	for _, k := range []string{keys[0], keys[2]} {
+		if _, ok := c.Get(k); !ok {
+			t.Errorf("%s should be resident", k)
+		}
+	}
+	st := c.Stats()
+	if st.Evictions != 1 || st.EvictedBytes != 40 || st.Bytes != 80 {
+		t.Errorf("stats = %+v, want 1 eviction of 40 bytes, 80 resident", st)
+	}
+}
+
+func TestSizedOversizedNotRetained(t *testing.T) {
+	c := NewSized[int](800, func(v int) int64 { return int64(v) }) // per-shard 100
+	v, hit, err := c.Do("big", func() (int, error) { return 500, nil })
+	if err != nil || hit || v != 500 {
+		t.Fatalf("Do: v=%d hit=%v err=%v", v, hit, err)
+	}
+	if _, ok := c.Get("big"); ok {
+		t.Error("oversized entry should not be retained")
+	}
+	st := c.Stats()
+	if st.Bytes != 0 || st.Evictions != 1 || st.EvictedBytes != 500 {
+		t.Errorf("stats = %+v", st)
+	}
+	// The next Do recomputes (the entry was dropped, not cached).
+	if _, hit, _ := c.Do("big", func() (int, error) { return 500, nil }); hit {
+		t.Error("oversized entry served as a hit")
+	}
+}
+
+func TestSizedPurgeResetsBytes(t *testing.T) {
+	c := NewSized[int](8<<10, func(v int) int64 { return int64(v) })
+	c.Do("a", func() (int, error) { return 123, nil })
+	c.Purge()
+	if c.Len() != 0 || c.Bytes() != 0 {
+		t.Errorf("after purge: len=%d bytes=%d", c.Len(), c.Bytes())
+	}
+	if _, hit, _ := c.Do("a", func() (int, error) { return 5, nil }); hit {
+		t.Error("hit after purge")
+	}
+	if got := c.Bytes(); got != 5 {
+		t.Errorf("Bytes after reinsert = %d, want 5", got)
+	}
+}
+
+func TestSizedConcurrent(t *testing.T) {
+	// Hammer a small budget from many goroutines: values must always be
+	// correct and resident bytes must stay within budget + one in-flight
+	// admission per shard.
+	c := NewSized[int](400, func(v int) int64 { return int64(v) })
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				k := fmt.Sprintf("k-%d", (g*7+i)%32)
+				v, _, err := c.Do(k, func() (int, error) { return 30, nil })
+				if err != nil || v != 30 {
+					t.Errorf("v=%d err=%v", v, err)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if got := c.Bytes(); got > 400+int64(shardCount)*30 {
+		t.Errorf("resident bytes %d exceed budget slack", got)
+	}
+}

@@ -25,6 +25,7 @@ import (
 	"cliquesquare/internal/physical"
 	"cliquesquare/internal/plancache"
 	"cliquesquare/internal/rdf"
+	"cliquesquare/internal/rescache"
 	"cliquesquare/internal/sparql"
 	"cliquesquare/internal/systems"
 	"cliquesquare/internal/vargraph"
@@ -64,6 +65,12 @@ type Config struct {
 	// is approximate: sharding rounds it up to the next multiple of the
 	// shard count (see plancache.New).
 	PlanCacheSize int
+	// ResultCacheBytes, when positive, enables the subplan result cache
+	// with that byte budget: executed job results (materialized rows +
+	// recorded charge traces) are cached per (job signature, data
+	// epoch) and served on repeat executions with rows and JobStats
+	// byte-identical to an uncached run. 0 (the default) disables it.
+	ResultCacheBytes int64
 }
 
 // DefaultConfig mirrors the paper's setup: 7 nodes, MSC.
@@ -92,6 +99,10 @@ type Engine struct {
 	// cache maps canonical query fingerprints to versioned plan
 	// entries; nil when caching is disabled.
 	cache *plancache.Cache[*cacheEntry]
+	// res is the subplan result cache; nil unless ResultCacheBytes > 0.
+	// Keys embed the data epoch, so stale entries are unreachable after
+	// a commit; the commit paths additionally purge for budget hygiene.
+	res *rescache.Cache
 	// ctxMu guards the explicit ExecContext free list. Contexts are
 	// recycled (with their per-lane arenas and parked worker pools)
 	// across plan executions; concurrent executions each get their
@@ -133,6 +144,9 @@ func New(g *rdf.Graph, cfg Config) *Engine {
 	}
 	if cfg.PlanCacheSize >= 0 {
 		e.cache = plancache.New[*cacheEntry](cfg.PlanCacheSize)
+	}
+	if cfg.ResultCacheBytes > 0 {
+		e.res = rescache.New(cfg.ResultCacheBytes)
 	}
 	return e
 }
@@ -209,6 +223,11 @@ func (e *Engine) ApplyBatch(inserts, deletes []rdf.Triple) (BatchResult, error) 
 	}
 	v := e.part.ApplyBatch(ins, dels, e.graph.Dict)
 	e.batches.Add(1)
+	if e.res != nil {
+		// Versioned keys already make the old epoch's entries
+		// unreachable; purge so their bytes stop occupying the budget.
+		e.res.Purge()
+	}
 	if e.cache != nil {
 		// Fold the effective delta into every cached plan's retained
 		// statistics so their next revalidation re-costs candidates in
@@ -398,13 +417,23 @@ func (e *Engine) ExecutePlan(pp *physical.Plan) (*physical.Result, error) {
 	defer e.part.Unpin(view)
 	cl := mapreduce.NewCluster(e.store, e.cfg.Constants)
 	x := &physical.Executor{
-		Cluster: cl,
-		Part:    e.part,
-		Dict:    e.graph.Dict,
-		Ctx:     ctx,
-		View:    view,
+		Cluster:     cl,
+		Part:        e.part,
+		Dict:        e.graph.Dict,
+		Ctx:         ctx,
+		View:        view,
+		ResultCache: e.res,
 	}
 	return x.Execute(pp)
+}
+
+// ResultCacheStats snapshots the subplan result cache counters (all
+// zero when the cache is disabled).
+func (e *Engine) ResultCacheStats() rescache.Stats {
+	if e.res == nil {
+		return rescache.Stats{}
+	}
+	return e.res.Stats()
 }
 
 // Run implements systems.System: optimize, select, execute.

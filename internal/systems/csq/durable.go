@@ -352,6 +352,9 @@ func (d *durableState) flushGroup(group []*applyReq) {
 			ent.statsMu.Unlock()
 		})
 	}
+	if e.res != nil {
+		e.res.Purge()
+	}
 	e.stateMu.Unlock()
 	applyD := time.Since(applyStart)
 

@@ -1,0 +1,261 @@
+package csq
+
+import (
+	"math/rand"
+	"reflect"
+	"runtime"
+	"sync"
+	"testing"
+
+	"cliquesquare/internal/lubm"
+	"cliquesquare/internal/physical"
+	"cliquesquare/internal/wal"
+)
+
+const testRescacheBytes = 256 << 20
+
+// runWorkload prepares and executes every query on e, returning the
+// results in workload order.
+func runWorkload(t *testing.T, e *Engine) []*physical.Result {
+	t.Helper()
+	qs := oracleQueries(t)
+	out := make([]*physical.Result, len(qs))
+	for i, q := range qs {
+		p, _, err := e.PrepareCached(q)
+		if err != nil {
+			t.Fatalf("%s: prepare: %v", q.Name, err)
+		}
+		r, err := e.ExecutePrepared(p)
+		if err != nil {
+			t.Fatalf("%s: execute: %v", q.Name, err)
+		}
+		out[i] = r
+	}
+	return out
+}
+
+// compareResults asserts rows AND JobStats are deeply identical.
+func compareResults(t *testing.T, label string, got, want []*physical.Result) {
+	t.Helper()
+	qs := oracleQueries(t)
+	for i := range want {
+		if !reflect.DeepEqual(got[i].Rows, want[i].Rows) {
+			t.Errorf("%s %s: rows diverge (%d vs %d)", label, qs[i].Name, len(got[i].Rows), len(want[i].Rows))
+		}
+		if !reflect.DeepEqual(got[i].Jobs, want[i].Jobs) {
+			t.Errorf("%s %s: JobStats diverge:\n got %+v\nwant %+v", label, qs[i].Name, got[i].Jobs, want[i].Jobs)
+		}
+	}
+}
+
+// uniqueJobKeys counts the distinct job signatures the workload probes
+// (the cross-query overlap the cache exploits) and the total probes.
+func uniqueJobKeys(t *testing.T, e *Engine) (unique, probes int) {
+	t.Helper()
+	seen := make(map[string]bool)
+	for _, q := range oracleQueries(t) {
+		p, _, err := e.PrepareCached(q)
+		if err != nil {
+			t.Fatalf("%s: %v", q.Name, err)
+		}
+		for _, k := range p.Physical.JobKeys {
+			seen[k] = true
+			probes++
+		}
+	}
+	return len(seen), probes
+}
+
+// TestResultCacheDeterminism is the cache-invisibility oracle: with
+// the subplan result cache enabled, the serving workload's rows and
+// simulated JobStats are byte-identical to an uncached engine at every
+// parallelism level, repeated executions are served from cache, and
+// exactly one execution happens per unique job signature — including
+// under concurrent serving, where singleflight must collapse racing
+// cold probes into one compute. Run under -race in CI.
+func TestResultCacheDeterminism(t *testing.T) {
+	g := lubm.Generate(lubm.DefaultConfig(1))
+
+	// The uncached sequential run pins the golden answers; every other
+	// configuration must reproduce them bit for bit.
+	refCfg := DefaultConfig()
+	refCfg.Sequential = true
+	want := runWorkload(t, New(g, refCfg))
+
+	matrix := []struct {
+		name string
+		tune func(*Config)
+	}{
+		{"sequential", func(c *Config) { c.Sequential = true }},
+		{"lanes2", func(c *Config) { c.Parallelism = 2 }},
+		{"gomaxprocs", func(c *Config) { c.Parallelism = runtime.GOMAXPROCS(0) }},
+	}
+	for _, tc := range matrix {
+		t.Run(tc.name, func(t *testing.T) {
+			cfg := DefaultConfig()
+			cfg.ResultCacheBytes = testRescacheBytes
+			tc.tune(&cfg)
+			eng := New(g, cfg)
+
+			first := runWorkload(t, eng)
+			compareResults(t, "cold", first, want)
+
+			unique, probes := uniqueJobKeys(t, eng)
+			st := eng.ResultCacheStats()
+			if int(st.Misses) != unique {
+				t.Errorf("misses = %d, want exactly one execution per unique job signature (%d)", st.Misses, unique)
+			}
+			if int(st.Hits+st.Misses) != probes {
+				t.Errorf("probes = %d, want %d", st.Hits+st.Misses, probes)
+			}
+			if st.Evictions != 0 || st.Bytes <= 0 || st.Entries != unique {
+				t.Errorf("cache stats = %+v, want %d resident entries and no evictions", st, unique)
+			}
+
+			// Warm pass: every job is served from cache, answers unchanged.
+			second := runWorkload(t, eng)
+			compareResults(t, "warm", second, want)
+			st2 := eng.ResultCacheStats()
+			if st2.Misses != st.Misses {
+				t.Errorf("warm pass re-executed jobs: misses %d -> %d", st.Misses, st2.Misses)
+			}
+			if int(st2.Hits) != int(st.Hits)+probes {
+				t.Errorf("warm pass hits = %d, want %d", st2.Hits, int(st.Hits)+probes)
+			}
+		})
+	}
+
+	// Concurrent serving against a cold cache: singleflight must give
+	// exactly one execution per unique signature, and every racer's
+	// answers stay byte-identical to the golden pins.
+	t.Run("concurrent", func(t *testing.T) {
+		cfg := DefaultConfig()
+		cfg.ResultCacheBytes = testRescacheBytes
+		eng := New(g, cfg)
+		const racers = 4
+		var wg sync.WaitGroup
+		results := make([][]*physical.Result, racers)
+		for r := 0; r < racers; r++ {
+			wg.Add(1)
+			go func(r int) {
+				defer wg.Done()
+				results[r] = runWorkload(t, eng)
+			}(r)
+		}
+		wg.Wait()
+		for r := 0; r < racers; r++ {
+			compareResults(t, "racer", results[r], want)
+		}
+		unique, probes := uniqueJobKeys(t, eng)
+		st := eng.ResultCacheStats()
+		if int(st.Misses) != unique {
+			t.Errorf("concurrent misses = %d, want %d (one compute per signature under singleflight)", st.Misses, unique)
+		}
+		if int(st.Hits+st.Misses) != racers*probes {
+			t.Errorf("probe total = %d, want %d", st.Hits+st.Misses, racers*probes)
+		}
+	})
+}
+
+// TestResultCacheChurnInvalidation proves a committed batch invalidates
+// stale entries: after each churn round the cache is empty, re-serving
+// the workload at the new DataVersion matches a fresh engine over the
+// mutated graph (no stale rows), and the new epoch's entries are
+// admitted under the new version key.
+func TestResultCacheChurnInvalidation(t *testing.T) {
+	g := lubm.Generate(lubm.DefaultConfig(1))
+	cfg := DefaultConfig()
+	cfg.ResultCacheBytes = testRescacheBytes
+	eng := New(g, cfg)
+	qs := oracleQueries(t)
+
+	// Warm the cache at the load epoch.
+	runWorkload(t, eng)
+	if st := eng.ResultCacheStats(); st.Entries == 0 {
+		t.Fatal("warm-up cached nothing")
+	}
+
+	rng := rand.New(rand.NewSource(23))
+	for round := 1; round <= 3; round++ {
+		ins, dels := randomBatch(rng, g, round)
+		br, err := eng.ApplyBatch(ins, dels)
+		if err != nil {
+			t.Fatalf("round %d: apply: %v", round, err)
+		}
+		if st := eng.ResultCacheStats(); st.Entries != 0 || st.Bytes != 0 {
+			t.Fatalf("round %d: commit left %d stale entries (%d bytes) resident", round, st.Entries, st.Bytes)
+		}
+
+		fresh := New(g, DefaultConfig())
+		for _, q := range qs {
+			p, _, err := eng.PrepareCached(q)
+			if err != nil {
+				t.Fatalf("round %d %s: prepare: %v", round, q.Name, err)
+			}
+			got, err := eng.ExecutePrepared(p)
+			if err != nil {
+				t.Fatalf("round %d %s: execute: %v", round, q.Name, err)
+			}
+			if got.DataVersion != br.DataVersion {
+				t.Errorf("round %d %s: served version %d, want %d", round, q.Name, got.DataVersion, br.DataVersion)
+			}
+			// Second execution must hit the re-admitted entry and still
+			// agree with the fresh engine.
+			again, err := eng.ExecutePrepared(p)
+			if err != nil {
+				t.Fatalf("round %d %s: re-execute: %v", round, q.Name, err)
+			}
+			fp, err := fresh.Prepare(q)
+			if err != nil {
+				t.Fatalf("round %d %s: fresh prepare: %v", round, q.Name, err)
+			}
+			wantR, err := fresh.ExecutePrepared(fp)
+			if err != nil {
+				t.Fatalf("round %d %s: fresh execute: %v", round, q.Name, err)
+			}
+			for pass, r := range []*physical.Result{got, again} {
+				if !reflect.DeepEqual(r.Rows, wantR.Rows) {
+					t.Errorf("round %d %s pass %d: stale rows served (%d vs %d)", round, q.Name, pass, len(r.Rows), len(wantR.Rows))
+				}
+				if !reflect.DeepEqual(r.Jobs, wantR.Jobs) {
+					t.Errorf("round %d %s pass %d: JobStats diverge", round, q.Name, pass)
+				}
+			}
+		}
+	}
+}
+
+// TestResultCacheDurableCommitPurges covers the group-commit path: a
+// durable engine's committed batch must purge the result cache too.
+func TestResultCacheDurableCommitPurges(t *testing.T) {
+	g := lubm.Generate(lubm.DefaultConfig(1))
+	cfg := DefaultConfig()
+	cfg.ResultCacheBytes = testRescacheBytes
+	eng, err := NewDurable(g, cfg, durableOpts(wal.NewMemFS()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+	q, err := lubm.Query("Q1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, _, err := eng.PrepareCached(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := eng.ExecutePrepared(p); err != nil {
+		t.Fatal(err)
+	}
+	if st := eng.ResultCacheStats(); st.Entries == 0 {
+		t.Fatal("execution cached nothing")
+	}
+	rng := rand.New(rand.NewSource(5))
+	ins, dels := randomBatch(rng, g, 1)
+	if _, err := eng.ApplyBatch(ins, dels); err != nil {
+		t.Fatal(err)
+	}
+	if st := eng.ResultCacheStats(); st.Entries != 0 {
+		t.Fatalf("durable commit left %d stale entries", st.Entries)
+	}
+}
