@@ -25,6 +25,7 @@ import (
 
 	"cliquesquare/internal/core"
 	"cliquesquare/internal/mapreduce"
+	"cliquesquare/internal/partition"
 	"cliquesquare/internal/physical"
 	"cliquesquare/internal/plancache"
 	"cliquesquare/internal/rdf"
@@ -83,6 +84,13 @@ type Options struct {
 	// byte-identical to an uncached run. Committed batches invalidate
 	// all entries (the epoch is part of the key). 0 disables it.
 	ResultCacheBytes int64
+	// Placement names the triple-to-node placement policy: "" or
+	// "modulo" is the paper's hash(id) mod n scheme, "ring" a
+	// consistent-hash ring under which AddNodes/RemoveNodes relocate
+	// only roughly the ideal fraction of the data. Query results and
+	// simulated statistics are identical under either policy at a
+	// fixed size.
+	Placement string
 	// Durable, when non-nil, attaches a write-ahead log: every applied
 	// batch is fsynced (group-committed) before it is acknowledged,
 	// and Open recovers the engine after a crash. Nil keeps the
@@ -188,6 +196,10 @@ func (opts Options) config() (csq.Config, error) {
 	}
 	cfg.PlanCacheSize = opts.PlanCacheSize
 	cfg.ResultCacheBytes = opts.ResultCacheBytes
+	if _, ok := partition.PolicyByName(opts.Placement); !ok {
+		return cfg, fmt.Errorf("cliquesquare: unknown placement policy %q", opts.Placement)
+	}
+	cfg.Placement = opts.Placement
 	return cfg, nil
 }
 
@@ -197,6 +209,31 @@ func (opts Options) config() (csq.Config, error) {
 // return ErrClosed. Close is idempotent; on a non-durable engine it
 // only marks the engine closed.
 func (e *Engine) Close() error { return e.inner.Close() }
+
+// ReshardResult reports what a completed AddNodes/RemoveNodes did
+// (re-exported from the engine).
+type ReshardResult = csq.ReshardResult
+
+// AddNodes grows the cluster by k nodes, relocating only the rows
+// whose placement changed (under the "ring" policy, roughly the ideal
+// k/(n+k) fraction). The resize executes as a short sequence of
+// ordinary store epochs; queries keep serving from their pinned
+// snapshots throughout, and on a durable engine every step is
+// WAL-logged before it applies.
+func (e *Engine) AddNodes(k int) (ReshardResult, error) { return e.inner.AddNodes(k) }
+
+// RemoveNodes shrinks the cluster by k nodes (the highest-numbered
+// ones), draining their rows to the survivors first. Semantics
+// otherwise match AddNodes.
+func (e *Engine) RemoveNodes(k int) (ReshardResult, error) { return e.inner.RemoveNodes(k) }
+
+// Nodes reports the current cluster size (Options.Nodes until the
+// first resize).
+func (e *Engine) Nodes() int { return e.inner.Nodes() }
+
+// TopologyVersion reports how many resizes have completed: 0 at load,
+// +1 per AddNodes/RemoveNodes.
+func (e *Engine) TopologyVersion() uint64 { return e.inner.TopologyVersion() }
 
 // Compact forces a checkpoint and write-ahead-log garbage collection
 // now, instead of waiting for the byte threshold. No-op on a

@@ -13,6 +13,7 @@
 //	benchcheck -churn BENCH_pr7.json [-max-write-amp 20]
 //	benchcheck -scaling BENCH_pr8.json [-min-speedup 1.2]
 //	benchcheck -serving BENCH_pr9.json [-min-serving-speedup 1.0]
+//	benchcheck -reshard BENCH_pr10.json [-max-stall-ms 1000] [-max-moved-factor 2]
 //
 // Benchmarks present only in the baseline are ignored (old benchmarks
 // may be retired); benchmarks present only in the new file pass (no
@@ -34,6 +35,12 @@
 // The fourth form gates a serving report produced with -rescache: the
 // result cache must have taken real hits and cached QPS must reach the
 // minimum multiple of the uncached baseline measured in the same run.
+//
+// The fifth form gates an elastic-reshard report (csq-bench
+// -exp=reshard): readers must have been served through both resizes
+// with answers intact, no single reader request may stall beyond the
+// bound, and each resize's moved-data fraction must stay within the
+// allowed multiple of the consistent-hashing ideal |ΔN|/max(N).
 package main
 
 import (
@@ -316,6 +323,65 @@ func checkServing(path string, minSpeedup float64) {
 	}
 }
 
+// reshardReport is the subset of the csq-bench reshard JSON the gate
+// reads.
+type reshardReport struct {
+	Requests  int     `json:"requests"`
+	QPS       float64 `json:"qps"`
+	P95Ms     float64 `json:"p95_ms"`
+	MaxMs     float64 `json:"max_ms"`
+	AnswersOK bool    `json:"answers_ok"`
+	Resizes   []struct {
+		From          int     `json:"from"`
+		To            int     `json:"to"`
+		MovedRows     int     `json:"moved_rows"`
+		TotalRows     int     `json:"total_rows"`
+		MovedFraction float64 `json:"moved_fraction"`
+		IdealFraction float64 `json:"ideal_fraction"`
+		WallMs        float64 `json:"wall_ms"`
+	} `json:"resizes"`
+}
+
+// checkReshard gates one elastic-reshard report: readers served through
+// a grow and a shrink without a stall beyond maxStallMs, with every
+// answer intact, and each resize moving no more than maxMovedFactor
+// times the ideal fraction of the data.
+func checkReshard(path string, maxStallMs, maxMovedFactor float64) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchcheck: %v\n", err)
+		os.Exit(2)
+	}
+	var r reshardReport
+	if err := json.Unmarshal(data, &r); err != nil {
+		fmt.Fprintf(os.Stderr, "benchcheck: %s: %v\n", path, err)
+		os.Exit(2)
+	}
+	failed := false
+	check := func(ok bool, format string, args ...any) {
+		verdict := "ok"
+		if !ok {
+			verdict = "FAIL"
+			failed = true
+		}
+		fmt.Printf("%s  %s\n", verdict, fmt.Sprintf(format, args...))
+	}
+	check(r.Requests > 0 && r.QPS > 0, "readers served through the resizes (%d requests, %.0f QPS)", r.Requests, r.QPS)
+	check(r.AnswersOK, "every mid-reshard answer matched the pre-reshard answer")
+	check(r.MaxMs > 0 && r.MaxMs <= maxStallMs, "worst reader request %.1f ms within %.0f ms stall bound (p95 %.3f ms)",
+		r.MaxMs, maxStallMs, r.P95Ms)
+	check(len(r.Resizes) >= 2, "grow and shrink both measured (%d resizes)", len(r.Resizes))
+	for _, rs := range r.Resizes {
+		check(rs.MovedRows > 0 && rs.MovedFraction <= maxMovedFactor*rs.IdealFraction,
+			"resize %d -> %d moved %.2f of rows, within %.1fx the %.2f ideal (%.1f ms)",
+			rs.From, rs.To, rs.MovedFraction, maxMovedFactor, rs.IdealFraction, rs.WallMs)
+	}
+	if failed {
+		fmt.Fprintf(os.Stderr, "benchcheck: %s violates reshard invariants\n", path)
+		os.Exit(1)
+	}
+}
+
 func main() {
 	baselinePath := flag.String("baseline", "", "baseline results (go test -json), e.g. the committed BENCH_pr2.json")
 	newPath := flag.String("new", "", "new results (go test -json) to check against the baseline")
@@ -326,6 +392,9 @@ func main() {
 	minSpeedup := flag.Float64("min-speedup", 1.2, "with -scaling: required parallel speedup over sequential on the workload curve")
 	servingPath := flag.String("serving", "", "serving report JSON to gate (csq-bench -exp=serving -rescache -out); replaces -baseline/-new")
 	minServingSpeedup := flag.Float64("min-serving-speedup", 1.0, "with -serving: required cached-over-uncached QPS multiple")
+	reshardPath := flag.String("reshard", "", "elastic reshard report JSON to gate (csq-bench -exp=reshard -out); replaces -baseline/-new")
+	maxStallMs := flag.Float64("max-stall-ms", 1000, "with -reshard: worst allowed single reader request during a resize")
+	maxMovedFactor := flag.Float64("max-moved-factor", 2, "with -reshard: allowed multiple of the ideal moved-data fraction")
 	flag.Parse()
 	if *churnPath != "" {
 		checkChurn(*churnPath, *maxWriteAmp)
@@ -337,6 +406,10 @@ func main() {
 	}
 	if *servingPath != "" {
 		checkServing(*servingPath, *minServingSpeedup)
+		return
+	}
+	if *reshardPath != "" {
+		checkReshard(*reshardPath, *maxStallMs, *maxMovedFactor)
 		return
 	}
 	if *baselinePath == "" || *newPath == "" {

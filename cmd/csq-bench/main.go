@@ -11,6 +11,7 @@
 //	csq-bench -exp=serving     # concurrent serving: QPS, latency, cache
 //	csq-bench -exp=churn       # mixed read/write clients: QPS, staleness
 //	csq-bench -exp=scaling     # morsel-runtime speedup vs worker count
+//	csq-bench -exp=reshard     # elastic resize: reader QPS/p95 through grow+shrink
 //	csq-bench -exp=all
 //
 // Flags tune the scale (-univ), cluster size (-nodes), the synthetic
@@ -36,7 +37,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: planspace|plans|systems|workload|bounds|serving|churn|scaling|all")
+	exp := flag.String("exp", "all", "experiment: planspace|plans|systems|workload|bounds|serving|churn|scaling|reshard|all")
 	univ := flag.Int("univ", 100, "LUBM scale (universities) for execution experiments")
 	nodes := flag.Int("nodes", 7, "simulated cluster nodes")
 	perShape := flag.Int("pershape", 30, "synthetic queries per shape (paper: 30)")
@@ -107,6 +108,7 @@ func main() {
 	run("serving", func() error { return serving(cc, *clients, *requests, *rescache, *out) })
 	run("churn", func() error { return churn(cc, *clients, *requests, *writers, *batch, *walDir, *out) })
 	run("scaling", func() error { return scaling(cc, *out) })
+	run("reshard", func() error { return reshardBench(cc, *clients, *out) })
 }
 
 func tw() *tabwriter.Writer {

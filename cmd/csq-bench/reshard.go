@@ -1,0 +1,238 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sync"
+	"time"
+
+	"cliquesquare"
+	"cliquesquare/internal/experiments"
+	"cliquesquare/internal/lubm"
+)
+
+// resizeMetrics reports one AddNodes/RemoveNodes call of the elastic
+// reshard experiment.
+type resizeMetrics struct {
+	From      int `json:"from"`
+	To        int `json:"to"`
+	Steps     int `json:"steps"`
+	MovedRows int `json:"moved_rows"`
+	TotalRows int `json:"total_rows"`
+	// MovedFraction is MovedRows/TotalRows; IdealFraction is the
+	// consistent-hashing lower bound |To-From|/max(From,To) that an
+	// elastic placement should stay near (modulo placement would
+	// reshuffle nearly everything).
+	MovedFraction float64 `json:"moved_fraction"`
+	IdealFraction float64 `json:"ideal_fraction"`
+	MovedCells    int     `json:"moved_cells"`
+	WallMs        float64 `json:"wall_ms"`
+}
+
+// reshardMetrics is the JSON shape of the serve-during-reshard report
+// (the BENCH_pr10.json CI artifact, input of `benchcheck -reshard`).
+// The latency percentiles cover every reader request issued while the
+// cluster resized underneath them; MaxMs is the worst single request —
+// the "readers never stall" gate bounds it.
+type reshardMetrics struct {
+	Experiment   string          `json:"experiment"`
+	Universities int             `json:"universities"`
+	Placement    string          `json:"placement"`
+	NodesStart   int             `json:"nodes_start"`
+	NodesEnd     int             `json:"nodes_end"`
+	Clients      int             `json:"clients"`
+	Requests     int             `json:"requests"`
+	WallSeconds  float64         `json:"wall_seconds"`
+	QPS          float64         `json:"qps"`
+	P50Ms        float64         `json:"p50_ms"`
+	P95Ms        float64         `json:"p95_ms"`
+	P99Ms        float64         `json:"p99_ms"`
+	MaxMs        float64         `json:"max_ms"`
+	AnswersOK    bool            `json:"answers_ok"`
+	Resizes      []resizeMetrics `json:"resizes"`
+}
+
+// reshardBench drives concurrent readers against a ring-placed engine
+// while the cluster grows and then shrinks (N -> N+3 -> N-2), measuring
+// reader QPS and latency through the resizes, the moved-data fraction
+// of each reshard and its wall time. Readers execute pre-prepared plans
+// — the serve-during-reshard path, which pins a view per request and
+// never takes the resharder's lock — and every answer is checked
+// against the first answer seen for its query, so the benchmark doubles
+// as an oracle that resizing never perturbs results.
+func reshardBench(cc experiments.ClusterConfig, clients int, outPath string) error {
+	grow, shrink := 3, 5
+	if cc.Nodes+grow-shrink < 1 {
+		return fmt.Errorf("reshard: -nodes=%d leaves no node after the %d -> %d -> %d sequence",
+			cc.Nodes, cc.Nodes, cc.Nodes+grow, cc.Nodes+grow-shrink)
+	}
+	fmt.Printf("== Elastic reshard: %d readers through a %d -> %d -> %d ring resize (LUBM, %d universities) ==\n",
+		clients, cc.Nodes, cc.Nodes+grow, cc.Nodes+grow-shrink, cc.Universities)
+	g := lubm.Generate(lubm.DefaultConfig(cc.Universities))
+	eng, err := cliquesquare.NewEngine(g, cliquesquare.Options{Nodes: cc.Nodes, Placement: "ring"})
+	if err != nil {
+		return err
+	}
+
+	// Plan once, up front: readers re-Run these Prepared plans so the
+	// measured path is pure execution against pinned views. The first
+	// run of each also records the expected answer size.
+	qs := lubm.Queries()
+	prepared := make([]*cliquesquare.Prepared, len(qs))
+	want := make([]int, len(qs))
+	for i, q := range qs {
+		p, err := eng.PrepareQuery(q)
+		if err != nil {
+			return fmt.Errorf("prepare %s: %w", q.Name, err)
+		}
+		r, err := p.Run()
+		if err != nil {
+			return fmt.Errorf("warm %s: %w", q.Name, err)
+		}
+		prepared[i], want[i] = p, len(r.Rows)
+	}
+
+	stop := make(chan struct{})
+	perClient := make([][]time.Duration, clients)
+	var (
+		mu       sync.Mutex
+		mismatch error
+	)
+	start := time.Now()
+	var wg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			var samples []time.Duration
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					perClient[c] = samples
+					return
+				default:
+				}
+				qi := (c + i) % len(prepared)
+				t0 := time.Now()
+				res, err := prepared[qi].Run()
+				d := time.Since(t0)
+				if err == nil && len(res.Rows) != want[qi] {
+					err = fmt.Errorf("%s: %d rows mid-reshard, want %d", qs[qi].Name, len(res.Rows), want[qi])
+				}
+				if err != nil {
+					mu.Lock()
+					if mismatch == nil {
+						mismatch = err
+					}
+					mu.Unlock()
+					perClient[c] = samples
+					return
+				}
+				samples = append(samples, d)
+			}
+		}(c)
+	}
+
+	// Let the readers settle on each topology before (and after) moving
+	// it: baseline at N, grow, dwell at N+grow, shrink, dwell again.
+	const dwell = 150 * time.Millisecond
+	resize := func(f func(int) (cliquesquare.ReshardResult, error), k int) (resizeMetrics, error) {
+		time.Sleep(dwell)
+		rr, err := f(k)
+		if err != nil {
+			return resizeMetrics{}, err
+		}
+		ideal := float64(rr.To-rr.From) / float64(rr.To)
+		if rr.From > rr.To {
+			ideal = float64(rr.From-rr.To) / float64(rr.From)
+		}
+		return resizeMetrics{
+			From:          rr.From,
+			To:            rr.To,
+			Steps:         rr.Steps,
+			MovedRows:     rr.MovedRows,
+			TotalRows:     rr.TotalRows,
+			MovedFraction: rr.MovedFraction,
+			IdealFraction: ideal,
+			MovedCells:    rr.MovedCells,
+			WallMs:        float64(rr.Wall.Nanoseconds()) / 1e6,
+		}, nil
+	}
+	var resizes []resizeMetrics
+	grown, err := resize(eng.AddNodes, grow)
+	if err == nil {
+		resizes = append(resizes, grown)
+		var shrunk resizeMetrics
+		if shrunk, err = resize(eng.RemoveNodes, shrink); err == nil {
+			resizes = append(resizes, shrunk)
+		}
+	}
+	time.Sleep(dwell)
+	close(stop)
+	wg.Wait()
+	wall := time.Since(start)
+	if err != nil {
+		return err
+	}
+	if mismatch != nil {
+		return mismatch
+	}
+
+	var all []time.Duration
+	maxMs := 0.0
+	for _, samples := range perClient {
+		all = append(all, samples...)
+		for _, d := range samples {
+			if ms := float64(d.Nanoseconds()) / 1e6; ms > maxMs {
+				maxMs = ms
+			}
+		}
+	}
+	m := reshardMetrics{
+		Experiment:   "reshard",
+		Universities: cc.Universities,
+		Placement:    "ring",
+		NodesStart:   cc.Nodes,
+		NodesEnd:     eng.Nodes(),
+		Clients:      clients,
+		Requests:     len(all),
+		WallSeconds:  wall.Seconds(),
+		QPS:          float64(len(all)) / wall.Seconds(),
+		P50Ms:        percentileMs(all, 50),
+		P95Ms:        percentileMs(all, 95),
+		P99Ms:        percentileMs(all, 99),
+		MaxMs:        maxMs,
+		AnswersOK:    true,
+		Resizes:      resizes,
+	}
+
+	w := tw()
+	fmt.Fprintf(w, "requests served through resizes\t%d\n", m.Requests)
+	fmt.Fprintf(w, "reader QPS\t%.0f\n", m.QPS)
+	fmt.Fprintf(w, "reader latency p50/p95/p99/max\t%.3f / %.3f / %.3f / %.3f ms\n", m.P50Ms, m.P95Ms, m.P99Ms, m.MaxMs)
+	for _, r := range m.Resizes {
+		fmt.Fprintf(w, "resize %d -> %d\t%d steps, moved %d/%d rows (%.2f, ideal %.2f), %d cells, %.1f ms\n",
+			r.From, r.To, r.Steps, r.MovedRows, r.TotalRows, r.MovedFraction, r.IdealFraction, r.MovedCells, r.WallMs)
+	}
+	fmt.Fprintln(w)
+	if err := w.Flush(); err != nil {
+		return err
+	}
+	if err := eng.Close(); err != nil {
+		return err
+	}
+
+	if outPath == "" {
+		return nil
+	}
+	data, err := json.MarshalIndent(m, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(outPath, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s\n", outPath)
+	return nil
+}

@@ -385,6 +385,12 @@ func (n *Node) Rows() int { return n.store.Current().Node(n.ID).Rows() }
 type Store struct {
 	writeMu sync.Mutex // serializes Begin..Commit writer critical sections
 	cur     atomic.Pointer[Snapshot]
+
+	// handles are allocated on demand (Node) and merely name a node
+	// index; the authoritative cluster size lives in the current
+	// snapshot, so a Tx.SetN resize takes effect the instant its epoch
+	// publishes.
+	hmu     sync.Mutex
 	handles []*Node
 }
 
@@ -412,11 +418,21 @@ func NewStoreAt(n int, version uint64) *Store {
 	return s
 }
 
-// N reports the number of nodes.
-func (s *Store) N() int { return len(s.handles) }
+// N reports the number of nodes in the current snapshot. It can change
+// across a committed Tx.SetN; size-dependent work should read N once
+// from a pinned Snapshot instead.
+func (s *Store) N() int { return len(s.cur.Load().nodes) }
 
-// Node returns the live handle for node i.
-func (s *Store) Node(i int) *Node { return s.handles[i] }
+// Node returns the live handle for node i, allocating handles lazily so
+// nodes added by a resize are addressable.
+func (s *Store) Node(i int) *Node {
+	s.hmu.Lock()
+	defer s.hmu.Unlock()
+	for len(s.handles) <= i {
+		s.handles = append(s.handles, &Node{ID: len(s.handles), store: s})
+	}
+	return s.handles[i]
+}
 
 // Current pins the latest published snapshot (one atomic load).
 func (s *Store) Current() *Snapshot { return s.cur.Load() }
@@ -447,6 +463,7 @@ type Tx struct {
 	s    *Store
 	base *Snapshot
 	muts map[int]map[string]*fileMut
+	newN int // 0 = keep the base size; else resize the cluster at commit
 	done bool
 }
 
@@ -458,10 +475,27 @@ func (s *Store) Begin() *Tx {
 	return &Tx{s: s, base: s.cur.Load(), muts: make(map[int]map[string]*fileMut)}
 }
 
+// SetN resizes the cluster to n nodes when this transaction commits.
+// Growing adds empty nodes (call SetN before appending to them);
+// shrinking drops the highest-numbered nodes, and Commit panics if any
+// dropped node still holds files after the transaction's own mutations
+// — a resize must drain them first. The resize and the buffered file
+// mutations publish in the same epoch, atomically.
+func (tx *Tx) SetN(n int) {
+	if n <= 0 {
+		panic(fmt.Sprintf("dstore: resize to %d nodes", n))
+	}
+	tx.newN = n
+}
+
 // mut returns (creating if needed) the buffered mutation of a file.
 func (tx *Tx) mut(node int, name string) *fileMut {
-	if node < 0 || node >= tx.s.N() {
-		panic(fmt.Sprintf("dstore: tx touches node %d of %d", node, tx.s.N()))
+	lim := len(tx.base.nodes)
+	if tx.newN > lim {
+		lim = tx.newN
+	}
+	if node < 0 || node >= lim {
+		panic(fmt.Sprintf("dstore: tx touches node %d of %d", node, lim))
 	}
 	nm := tx.muts[node]
 	if nm == nil {
@@ -525,8 +559,11 @@ func (tx *Tx) baseSchema(node int, name string, m *fileMut) []string {
 	if m.drop {
 		return nil
 	}
-	if f, ok := tx.base.Node(node).Get(name); ok {
-		return f.Schema
+	// Nodes beyond the base width (added by SetN) have no base files.
+	if node < len(tx.base.nodes) {
+		if f, ok := tx.base.Node(node).Get(name); ok {
+			return f.Schema
+		}
 	}
 	return nil
 }
@@ -567,14 +604,25 @@ func (tx *Tx) Commit() *Snapshot {
 	if tx.done {
 		panic("dstore: commit on a finished tx")
 	}
-	next := &Snapshot{
-		version: tx.base.version + 1,
-		nodes:   make([]map[string]*File, len(tx.base.nodes)),
+	n := len(tx.base.nodes)
+	if tx.newN > 0 {
+		n = tx.newN
 	}
-	copy(next.nodes, tx.base.nodes)
+	// Build over the union of old and new widths: a shrink's own
+	// mutations may drain nodes that are about to be dropped.
+	wide := n
+	if len(tx.base.nodes) > wide {
+		wide = len(tx.base.nodes)
+	}
+	nodes := make([]map[string]*File, wide)
+	copy(nodes, tx.base.nodes)
+	for i := len(tx.base.nodes); i < wide; i++ {
+		nodes[i] = make(map[string]*File)
+	}
+	next := &Snapshot{version: tx.base.version + 1, nodes: nodes}
 	for node, nm := range tx.muts {
-		files := make(map[string]*File, len(tx.base.nodes[node])+len(nm))
-		for k, v := range tx.base.nodes[node] {
+		files := make(map[string]*File, len(nodes[node])+len(nm))
+		for k, v := range nodes[node] {
 			files[k] = v
 		}
 		// Apply in sorted file order for reproducible panics.
@@ -598,6 +646,12 @@ func (tx *Tx) Commit() *Snapshot {
 		}
 		next.nodes[node] = files
 	}
+	for i := n; i < wide; i++ {
+		if len(next.nodes[i]) != 0 {
+			panic(fmt.Sprintf("dstore: shrink to %d nodes drops non-empty node %d (%d files)", n, i, len(next.nodes[i])))
+		}
+	}
+	next.nodes = next.nodes[:n:n]
 	tx.s.cur.Store(next)
 	tx.done = true
 	tx.s.writeMu.Unlock()

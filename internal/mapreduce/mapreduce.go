@@ -227,10 +227,11 @@ func (r *JobRecord) MemBytes() int64 {
 // accumulate bit-identically to an actual execution — per-node map
 // totals in node order, then per node the shuffle and reduce totals,
 // then the job-init charge, matching RunWith's merge order exactly.
-// The record must have been captured on a cluster with the same node
-// count and cost constants.
+// The record must have been captured on a cluster with the same cost
+// constants; the node count comes from the record itself, so a replay
+// stays faithful even after the live cluster was resized.
 func (cl *Cluster) Replay(name string, r *JobRecord) JobStats {
-	n := cl.N()
+	n := len(r.mapNode)
 	stats := JobStats{
 		Name:          name,
 		MapOnly:       r.mapOnly,
@@ -311,6 +312,11 @@ type RunOptions struct {
 	// wins over Workers). nil spawns a transient pool for this Run
 	// when more than one lane is called for.
 	Pool *Pool
+	// Nodes, when > 0, overrides the cluster size for this run.
+	// Executors pinned to a snapshot pass the snapshot's node count so
+	// a concurrent resize (which changes Store.N) cannot skew routing
+	// mid-query.
+	Nodes int
 	// Scratch, if non-nil, provides the reusable buffers.
 	Scratch *Scratch
 	// Record, if non-nil, captures the job's full charge trace and
@@ -582,6 +588,9 @@ func (cl *Cluster) Run(job Job) *Output {
 // in.
 func (cl *Cluster) RunWith(job Job, opts RunOptions) *Output {
 	n := cl.N()
+	if opts.Nodes > 0 {
+		n = opts.Nodes
+	}
 	out := &Output{PerNode: make([][]Row, n)}
 	stats := JobStats{Name: job.Name, MapOnly: job.mapOnly()}
 	work := 0.0

@@ -66,6 +66,10 @@ func (m Mode) String() string {
 type Partitioner struct {
 	store *dstore.Store
 	mode  Mode
+	// policy builds the Placement for a given cluster size; the default
+	// is ModuloPolicy (the paper's hash(id) mod n). Reshard re-invokes
+	// it at the target size to derive the move set.
+	policy Policy
 
 	writeMu sync.Mutex
 	cur     atomic.Pointer[View]
@@ -86,6 +90,17 @@ type Partitioner struct {
 type View struct {
 	p    *Partitioner
 	snap *dstore.Snapshot
+	// place is the placement writers route new triples through at this
+	// epoch. Readers never consult it — scans read partition files by
+	// name from every node — which is exactly why a pinned mid-reshard
+	// View keeps answering correctly while rows migrate underneath
+	// newer epochs.
+	place Placement
+	// topo counts completed topology changes: 0 for the load topology,
+	// +1 per reshard. It folds into VersionKey so version-keyed caches
+	// can never collide across topologies even if epoch numbering were
+	// ever reused.
+	topo uint64
 	// typeID is the dictionary ID of rdf:type (NoTerm if absent when
 	// the view was published).
 	typeID rdf.TermID
@@ -103,12 +118,22 @@ func Load(store *dstore.Store, g *rdf.Graph) *Partitioner {
 	return LoadWithMode(store, g, ThreeReplica)
 }
 
-// LoadWithMode partitions g with the chosen replication scheme, as one
-// committed store epoch.
+// LoadWithMode partitions g with the chosen replication scheme and the
+// default modulo placement, as one committed store epoch.
 func LoadWithMode(store *dstore.Store, g *rdf.Graph, mode Mode) *Partitioner {
-	p := &Partitioner{store: store, mode: mode}
+	return LoadWithPolicy(store, g, mode, ModuloPolicy)
+}
+
+// LoadWithPolicy partitions g with the chosen replication scheme and
+// placement policy, as one committed store epoch.
+func LoadWithPolicy(store *dstore.Store, g *rdf.Graph, mode Mode, policy Policy) *Partitioner {
+	if policy == nil {
+		policy = ModuloPolicy
+	}
+	p := &Partitioner{store: store, mode: mode, policy: policy}
 	v := &View{
 		p:           p,
+		place:       policy(store.N()),
 		properties:  make(map[rdf.TermID]int),
 		typeObjects: make(map[rdf.TermID]int),
 	}
@@ -126,19 +151,19 @@ func LoadWithMode(store *dstore.Store, g *rdf.Graph, mode Mode) *Partitioner {
 // placeBatch appends every triple's replicas into tx and maintains the
 // view's placement counters, mirroring the Section 5.1 layout.
 func placeBatch(tx *dstore.Tx, v *View, triples []rdf.Triple, mode Mode) {
-	n := v.p.store.N()
+	pl := v.place
 	for _, t := range triples {
 		v.properties[t.P]++
-		tx.AppendCells(NodeFor(t.S, n), FileName(rdf.SPos, t.P, 0), TripleSchema, t.S, t.P, t.O)
+		tx.AppendCells(pl.NodeFor(t.S), FileName(rdf.SPos, t.P, 0), TripleSchema, t.S, t.P, t.O)
 		if mode == SubjectOnly {
 			continue
 		}
-		tx.AppendCells(NodeFor(t.O, n), FileName(rdf.OPos, t.P, 0), TripleSchema, t.S, t.P, t.O)
+		tx.AppendCells(pl.NodeFor(t.O), FileName(rdf.OPos, t.P, 0), TripleSchema, t.S, t.P, t.O)
 		if v.typeID != rdf.NoTerm && t.P == v.typeID {
 			v.typeObjects[t.O]++
-			tx.AppendCells(NodeFor(t.P, n), FileName(rdf.PPos, t.P, t.O), TripleSchema, t.S, t.P, t.O)
+			tx.AppendCells(pl.NodeFor(t.P), FileName(rdf.PPos, t.P, t.O), TripleSchema, t.S, t.P, t.O)
 		} else {
-			tx.AppendCells(NodeFor(t.P, n), FileName(rdf.PPos, t.P, 0), TripleSchema, t.S, t.P, t.O)
+			tx.AppendCells(pl.NodeFor(t.P), FileName(rdf.PPos, t.P, 0), TripleSchema, t.S, t.P, t.O)
 		}
 	}
 }
@@ -158,6 +183,8 @@ func (p *Partitioner) ApplyBatch(inserts, deletes []rdf.Triple, dict *rdf.Dict) 
 	old := p.cur.Load()
 	v := &View{
 		p:           p,
+		place:       old.place,
+		topo:        old.topo,
 		typeID:      old.typeID,
 		properties:  make(map[rdf.TermID]int, len(old.properties)),
 		typeObjects: make(map[rdf.TermID]int, len(old.typeObjects)),
@@ -176,7 +203,7 @@ func (p *Partitioner) ApplyBatch(inserts, deletes []rdf.Triple, dict *rdf.Dict) 
 		}
 	}
 
-	n := p.store.N()
+	pl := v.place
 	tx := p.store.Begin()
 	defer tx.Abort()
 	for _, t := range deletes {
@@ -184,18 +211,18 @@ func (p *Partitioner) ApplyBatch(inserts, deletes []rdf.Triple, dict *rdf.Dict) 
 		if v.properties[t.P]--; v.properties[t.P] <= 0 {
 			delete(v.properties, t.P)
 		}
-		tx.DeleteRow(NodeFor(t.S, n), FileName(rdf.SPos, t.P, 0), row)
+		tx.DeleteRow(pl.NodeFor(t.S), FileName(rdf.SPos, t.P, 0), row)
 		if p.mode == SubjectOnly {
 			continue
 		}
-		tx.DeleteRow(NodeFor(t.O, n), FileName(rdf.OPos, t.P, 0), row)
+		tx.DeleteRow(pl.NodeFor(t.O), FileName(rdf.OPos, t.P, 0), row)
 		if v.typeID != rdf.NoTerm && t.P == v.typeID {
 			if v.typeObjects[t.O]--; v.typeObjects[t.O] <= 0 {
 				delete(v.typeObjects, t.O)
 			}
-			tx.DeleteRow(NodeFor(t.P, n), FileName(rdf.PPos, t.P, t.O), row)
+			tx.DeleteRow(pl.NodeFor(t.P), FileName(rdf.PPos, t.P, t.O), row)
 		} else {
-			tx.DeleteRow(NodeFor(t.P, n), FileName(rdf.PPos, t.P, 0), row)
+			tx.DeleteRow(pl.NodeFor(t.P), FileName(rdf.PPos, t.P, 0), row)
 		}
 	}
 	placeBatch(tx, v, inserts, p.mode)
@@ -248,6 +275,13 @@ func (p *Partitioner) Watermark() uint64 {
 // Mode reports the replication scheme in use.
 func (p *Partitioner) Mode() Mode { return p.mode }
 
+// Policy reports the placement policy in use.
+func (p *Partitioner) Policy() Policy { return p.policy }
+
+// TopologyVersion is the current view's topology version: 0 at load,
+// +1 per completed reshard.
+func (p *Partitioner) TopologyVersion() uint64 { return p.cur.Load().topo }
+
 // ScanPos resolves the replica position a scan should read: the
 // preferred (co-location) position under three-replica partitioning,
 // always the subject replica under subject-only partitioning.
@@ -283,6 +317,21 @@ func (p *Partitioner) Files(tp sparql.TriplePattern, pos rdf.Pos, dict *rdf.Dict
 
 // Version is the view's epoch number (the dstore snapshot version).
 func (v *View) Version() uint64 { return v.snap.Version() }
+
+// Topology is the view's topology version: 0 at load, +1 per reshard.
+func (v *View) Topology() uint64 { return v.topo }
+
+// VersionKey folds the topology version into the epoch number for
+// version-keyed caches: identical to Version while the topology never
+// changed (topo 0), and guaranteed distinct across topologies after a
+// reshard — entries from an old topology go stale by construction.
+func (v *View) VersionKey() uint64 { return v.snap.Version() ^ v.topo<<48 }
+
+// Nodes is the cluster size at this view's epoch.
+func (v *View) Nodes() int { return v.snap.N() }
+
+// Placement is the placement writers route through at this epoch.
+func (v *View) Placement() Placement { return v.place }
 
 // Snap returns the pinned dstore snapshot.
 func (v *View) Snap() *dstore.Snapshot { return v.snap }

@@ -1,0 +1,153 @@
+// Placement abstracts the triple-to-node mapping of the Section 5.1
+// layout. The paper fixes it as hash(id) mod n, which ties every
+// placement decision to the cluster size: changing n invalidates all of
+// them at once. Extracting the mapping behind an interface keeps the
+// paper's modulo scheme as the default while adding a consistent-hash
+// ring whose placement is mostly stable under resizing — adding or
+// removing nodes moves only the slice of keys whose ring owner actually
+// changed, which is what makes live resharding (reshard.go) cheap.
+package partition
+
+import (
+	"sort"
+
+	"cliquesquare/internal/rdf"
+)
+
+// Placement maps a term ID to the node that owns its replica in an
+// n-node cluster. Implementations are immutable and safe for concurrent
+// use; the same (implementation, n) pair always yields the same
+// mapping, which is what lets crash recovery reproduce node placement
+// exactly.
+type Placement interface {
+	// N is the cluster size this placement maps onto.
+	N() int
+	// NodeFor returns the owning node index in [0, N()).
+	NodeFor(id rdf.TermID) int
+	// Name identifies the scheme ("modulo", "ring") for diagnostics.
+	Name() string
+}
+
+// Policy builds the Placement for a cluster of n nodes. A Partitioner
+// holds one policy for its lifetime and re-instantiates it at each
+// topology: the move-set of a reshard is exactly the keys whose owner
+// differs between policy(oldN) and policy(newN).
+type Policy func(n int) Placement
+
+// ModuloPolicy is the paper's scheme and the default: node = hash(id)
+// mod n, byte-identical to the historical free NodeFor function (the
+// golden JobStats pins depend on that).
+func ModuloPolicy(n int) Placement { return moduloPlacement(n) }
+
+type moduloPlacement int
+
+func (m moduloPlacement) N() int                    { return int(m) }
+func (m moduloPlacement) NodeFor(id rdf.TermID) int { return hash(id) % int(m) }
+func (m moduloPlacement) Name() string              { return "modulo" }
+
+// ringVnodes is the virtual-node count per physical node: enough points
+// that per-node key shares stay within a small constant factor of 1/n
+// (the balance test bounds the skew), few enough that a ring for
+// hundreds of nodes stays a few thousand points.
+const ringVnodes = 128
+
+// Ring is a consistent-hash placement: every node projects ringVnodes
+// deterministic points onto the 64-bit ring, and a key belongs to the
+// node owning the first point at or after the key's own hash
+// (wrapping). Because a node's points depend only on (node index, vnode
+// index, seed), growing from n to n+k inserts only the new nodes'
+// points — keys move only onto new nodes — and shrinking by removing
+// the top k nodes deletes only their points — only their keys move.
+type Ring struct {
+	n      int
+	points []ringPoint // sorted by pos (ties broken by node, then vnode)
+}
+
+type ringPoint struct {
+	pos  uint64
+	node int32
+	vn   int32
+}
+
+// RingPolicy builds the consistent-hash ring placement for n nodes.
+func RingPolicy(n int) Placement { return NewRing(n) }
+
+// NewRing builds the ring for n nodes with the package's fixed vnode
+// count and seed.
+func NewRing(n int) *Ring {
+	pts := make([]ringPoint, 0, n*ringVnodes)
+	for node := 0; node < n; node++ {
+		for vn := 0; vn < ringVnodes; vn++ {
+			pts = append(pts, ringPoint{pos: vnodePos(node, vn), node: int32(node), vn: int32(vn)})
+		}
+	}
+	sort.Slice(pts, func(i, j int) bool {
+		if pts[i].pos != pts[j].pos {
+			return pts[i].pos < pts[j].pos
+		}
+		if pts[i].node != pts[j].node {
+			return pts[i].node < pts[j].node
+		}
+		return pts[i].vn < pts[j].vn
+	})
+	return &Ring{n: n, points: pts}
+}
+
+// N implements Placement.
+func (r *Ring) N() int { return r.n }
+
+// Name implements Placement.
+func (r *Ring) Name() string { return "ring" }
+
+// NodeFor implements Placement: binary-search the first vnode at or
+// after the key's ring position, wrapping past the top.
+func (r *Ring) NodeFor(id rdf.TermID) int {
+	p := keyPos(id)
+	pts := r.points
+	i := sort.Search(len(pts), func(i int) bool { return pts[i].pos >= p })
+	if i == len(pts) {
+		i = 0
+	}
+	return int(pts[i].node)
+}
+
+// mix64 is the splitmix64 finalizer: a cheap, well-distributed 64-bit
+// mixer used for both vnode positions and key positions (with disjoint
+// input domains so they never correlate).
+func mix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xBF58476D1CE4E5B9
+	x ^= x >> 27
+	x *= 0x94D049BB133111EB
+	x ^= x >> 31
+	return x
+}
+
+// vnodePos is the deterministic ring position of (node, vnode): a fixed
+// seed mixed with the pair, so the same node always projects the same
+// points whatever the rest of the cluster looks like.
+func vnodePos(node, vn int) uint64 {
+	return mix64(ringHashSeed ^ (uint64(node)<<20 | uint64(vn)))
+}
+
+// keyPos is a term's ring position. The high bit marks the key domain
+// so a key hash can never equal a vnode hash by construction of the
+// mixed inputs alone.
+func keyPos(id rdf.TermID) uint64 {
+	return mix64(ringHashSeed ^ (1<<63 | uint64(id)))
+}
+
+// ringHashSeed is the fixed, arbitrary seed behind every ring position.
+const ringHashSeed = 0x5153_5152_696e_6731 // "QSQRing1"
+
+// PolicyByName resolves a placement policy name: "" and "modulo" give
+// the paper's modulo scheme, "ring" the consistent-hash ring.
+func PolicyByName(name string) (Policy, bool) {
+	switch name {
+	case "", "modulo":
+		return ModuloPolicy, true
+	case "ring":
+		return RingPolicy, true
+	}
+	return nil, false
+}

@@ -1,0 +1,99 @@
+package partition
+
+import (
+	"testing"
+
+	"cliquesquare/internal/rdf"
+)
+
+func TestPolicyByName(t *testing.T) {
+	for _, name := range []string{"", "modulo"} {
+		pol, ok := PolicyByName(name)
+		if !ok {
+			t.Fatalf("PolicyByName(%q) unknown", name)
+		}
+		pl := pol(7)
+		if pl.Name() != "modulo" || pl.N() != 7 {
+			t.Fatalf("PolicyByName(%q) -> %s/%d", name, pl.Name(), pl.N())
+		}
+	}
+	pol, ok := PolicyByName("ring")
+	if !ok || pol(5).Name() != "ring" {
+		t.Fatal("ring policy not resolvable")
+	}
+	if _, ok := PolicyByName("nope"); ok {
+		t.Fatal("unknown policy name resolved")
+	}
+}
+
+// TestModuloPlacementMatchesNodeFor pins the golden compatibility rule:
+// the default policy is byte-identical to the historical free NodeFor.
+func TestModuloPlacementMatchesNodeFor(t *testing.T) {
+	pl := ModuloPolicy(7)
+	for id := rdf.TermID(1); id < 2000; id++ {
+		if pl.NodeFor(id) != NodeFor(id, 7) {
+			t.Fatalf("modulo placement diverges from NodeFor at id %d", id)
+		}
+	}
+}
+
+// TestRingBalance bounds the per-node key-share skew of the ring: with
+// 128 virtual nodes per node, no node's share may stray from the ideal
+// 1/n by more than a factor of two in either direction.
+func TestRingBalance(t *testing.T) {
+	const keys = 60000
+	for _, n := range []int{3, 7, 10, 16} {
+		r := NewRing(n)
+		counts := make([]int, n)
+		for id := rdf.TermID(1); id <= keys; id++ {
+			counts[r.NodeFor(id)]++
+		}
+		ideal := float64(keys) / float64(n)
+		for node, c := range counts {
+			if f := float64(c) / ideal; f < 0.5 || f > 2.0 {
+				t.Errorf("n=%d: node %d holds %d keys (%.2f× the ideal %.0f)", n, node, c, f, ideal)
+			}
+		}
+	}
+}
+
+// TestRingDeterministic pins that the ring is a pure function of
+// (n, id): two independently built rings agree everywhere.
+func TestRingDeterministic(t *testing.T) {
+	a, b := NewRing(9), NewRing(9)
+	for id := rdf.TermID(1); id < 5000; id++ {
+		if a.NodeFor(id) != b.NodeFor(id) {
+			t.Fatalf("ring not deterministic at id %d", id)
+		}
+	}
+}
+
+// TestRingMinimalMovement is the consistent-hashing property test:
+// growing n→n+1 moves at most ~1/(n+1) of the keys (we allow 2× the
+// ideal for vnode-sampling noise), and every moved key moves onto the
+// new node — no key relocates between surviving nodes. Shrinking is the
+// mirror image: only the removed node's keys move.
+func TestRingMinimalMovement(t *testing.T) {
+	const keys = 40000
+	for _, n := range []int{4, 7, 10} {
+		small, big := NewRing(n), NewRing(n+1)
+		moved := 0
+		for id := rdf.TermID(1); id <= keys; id++ {
+			from, to := small.NodeFor(id), big.NodeFor(id)
+			if from == to {
+				continue
+			}
+			moved++
+			if to != n {
+				t.Fatalf("n=%d->%d: key %d moved %d->%d, not onto the new node", n, n+1, id, from, to)
+			}
+		}
+		ideal := float64(keys) / float64(n+1)
+		if f := float64(moved) / ideal; f > 2.0 {
+			t.Errorf("n=%d->%d: %d keys moved, %.2f× the ideal %.0f", n, n+1, moved, f, ideal)
+		}
+		if moved == 0 {
+			t.Errorf("n=%d->%d: no keys moved to the new node", n, n+1)
+		}
+	}
+}

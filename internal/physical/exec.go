@@ -81,6 +81,9 @@ func (x *Executor) runJob(job mapreduce.Job, rec *mapreduce.JobRecord) *mapreduc
 		Pool:       x.Ctx.workerPool(),
 		Scratch:    x.Ctx.shuffleScratch(),
 		Record:     rec,
+		// Route by the pinned view's size, not the store's live size:
+		// a reshard may resize the store mid-query.
+		Nodes: x.view.Nodes(),
 	})
 	if x.Ctx.StatsSink != nil {
 		x.Ctx.StatsSink(x.Cluster.Jobs[len(x.Cluster.Jobs)-1])
@@ -154,7 +157,7 @@ func (x *Executor) Execute(pp *Plan) (*Result, error) {
 			return x.finishRows(out.Rows())
 		}
 		if x.ResultCache != nil {
-			ent, hit, err := x.ResultCache.Do(pp.JobKeys[0], x.view.Version(), func() (*rescache.Entry, error) {
+			ent, hit, err := x.ResultCache.Do(pp.JobKeys[0], x.view.VersionKey(), func() (*rescache.Entry, error) {
 				rec := &mapreduce.JobRecord{}
 				return rescache.NewEntry(rec, nil, runMapOnly(rec)), nil
 			})
@@ -180,11 +183,11 @@ func (x *Executor) Execute(pp *Plan) (*Result, error) {
 		for _, in := range pp.Infos {
 			byID[in.ID] = in
 			if in.Kind == KindReduceJoin {
-				interm[in.ID] = nodeRowBufs(interm[in.ID], x.Cluster.N())
+				interm[in.ID] = nodeRowBufs(interm[in.ID], x.view.Nodes())
 			}
 		}
 		lanes := x.Ctx.laneCount()
-		x.Ctx.rangeSlots(x.Cluster.N(), lanes)
+		x.Ctx.rangeSlots(x.view.Nodes(), lanes)
 		for l, infos := range pp.Levels {
 			isLast := l == len(pp.Levels)-1
 			name := fmt.Sprintf("%s-job%d", q.Name, l+1)
@@ -303,7 +306,7 @@ func (x *Executor) Execute(pp *Plan) (*Result, error) {
 				}
 				continue
 			}
-			ent, hit, err := x.ResultCache.Do(pp.JobKeys[l], x.view.Version(), func() (*rescache.Entry, error) {
+			ent, hit, err := x.ResultCache.Do(pp.JobKeys[l], x.view.VersionKey(), func() (*rescache.Entry, error) {
 				rec := &mapreduce.JobRecord{}
 				out := runLevel(rec)
 				// Snapshot what the job produced: header copies of the
@@ -311,7 +314,7 @@ func (x *Executor) Execute(pp *Plan) (*Result, error) {
 				// recycled next execution) and, for the final job, the
 				// finished result set. The slab-backed cells are shared —
 				// handed out once, never mutated.
-				nNodes := x.Cluster.N()
+				nNodes := x.view.Nodes()
 				snap := make([][][]mapreduce.Row, len(infos))
 				for i, in := range infos {
 					per := make([][]mapreduce.Row, nNodes)
@@ -378,7 +381,7 @@ func (x *Executor) finishRows(rows []mapreduce.Row) []mapreduce.Row {
 // constants miss the dictionary produce no morsels (they charge and
 // emit nothing anywhere).
 func (x *Executor) buildMorsels(pp *Plan, level []*Info) [][]mapMorsel {
-	n := x.Cluster.N()
+	n := x.view.Nodes()
 	tbl := x.Ctx.morselTable(n)
 	a := x.Ctx.arenaFor(0)
 	for _, rj := range level {

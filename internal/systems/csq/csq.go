@@ -51,6 +51,11 @@ type Config struct {
 	// paper's three-replica layout. SubjectOnly is the single-replica
 	// ablation: only s-s first-level joins stay map-side.
 	Partitioning partition.Mode
+	// Placement names the triple-to-node placement policy: "" or
+	// "modulo" is the paper's hash(id) mod n (golden-stat compatible),
+	// "ring" the consistent-hash ring that makes AddNodes/RemoveNodes
+	// move only ~|ΔN|/N of the data.
+	Placement string
 	// Parallelism bounds the worker pool the runtime uses for per-node
 	// phases; 0 means GOMAXPROCS.
 	Parallelism int
@@ -132,6 +137,16 @@ type Engine struct {
 	dur    *durableState
 }
 
+// mustPolicy resolves the configured placement policy, panicking on an
+// unknown name (the facade validates names before they reach here).
+func (cfg Config) mustPolicy() partition.Policy {
+	pol, ok := partition.PolicyByName(cfg.Placement)
+	if !ok {
+		panic(fmt.Sprintf("csq: unknown placement policy %q", cfg.Placement))
+	}
+	return pol
+}
+
 // New partitions g across the configured cluster and returns the
 // engine.
 func New(g *rdf.Graph, cfg Config) *Engine {
@@ -140,7 +155,7 @@ func New(g *rdf.Graph, cfg Config) *Engine {
 		cfg:   cfg,
 		graph: g,
 		store: store,
-		part:  partition.LoadWithMode(store, g, cfg.Partitioning),
+		part:  partition.LoadWithPolicy(store, g, cfg.Partitioning, cfg.mustPolicy()),
 	}
 	if cfg.PlanCacheSize >= 0 {
 		e.cache = plancache.New[*cacheEntry](cfg.PlanCacheSize)

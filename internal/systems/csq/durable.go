@@ -46,16 +46,20 @@ type DurabilityStats struct {
 	GroupedCallers uint64
 }
 
-// applyReq is one ApplyBatch caller queued for group commit.
+// applyReq is one ApplyBatch caller queued for group commit — or, when
+// reshard is non-zero, one AddNodes/RemoveNodes caller whose resize the
+// batcher executes solo (never grouped with triple batches).
 type applyReq struct {
 	ins, dels []rdf.Triple
+	reshard   int // node-count delta; 0 = ordinary batch
 	resp      chan applyResp
 	enqueued  time.Time
 }
 
 type applyResp struct {
-	res BatchResult
-	err error
+	res   BatchResult
+	shard ReshardResult
+	err   error
 }
 
 // durableState is the durable half of an Engine: the WAL, the
@@ -101,6 +105,7 @@ func NewDurable(g *rdf.Graph, cfg Config, opts wal.Options) (*Engine, error) {
 		Epoch:   e.DataVersion(),
 		Terms:   g.Dict.TermsAfter(0),
 		Triples: g.Triples(),
+		Nodes:   uint32(e.part.Current().Nodes()),
 	}
 	l, err := wal.Create(opts, cp)
 	if err != nil {
@@ -115,6 +120,11 @@ func NewDurable(g *rdf.Graph, cfg Config, opts wal.Options) (*Engine, error) {
 // it (reproducing the exact TermID assignment, and with it node
 // placement), then partitioned so the initial load commits exactly the
 // recovered epoch — epoch numbers stay continuous across the crash.
+// The cluster size comes from the log too — the checkpoint's recorded
+// size updated by every topology record after it — so an engine that
+// crashed mid-reshard recovers at the topology of its last durable
+// step, with the full graph placed consistently at that size (a
+// checkpoint with no recorded size falls back to cfg.Nodes).
 // wal.ErrNoState means the directory holds nothing to recover.
 func OpenDurable(cfg Config, opts wal.Options) (*Engine, error) {
 	g := rdf.NewGraph()
@@ -126,8 +136,12 @@ func OpenDurable(cfg Config, opts wal.Options) (*Engine, error) {
 		}
 		return nil
 	}
+	nodes := cfg.Nodes
 	l, _, err := wal.Open(opts,
 		func(cp *wal.Checkpoint) error {
+			if cp.Nodes > 0 {
+				nodes = int(cp.Nodes)
+			}
 			if err := install(1, cp.Terms); err != nil {
 				return err
 			}
@@ -137,6 +151,9 @@ func OpenDurable(cfg Config, opts wal.Options) (*Engine, error) {
 			return nil
 		},
 		func(r *wal.Record) error {
+			if r.Topology > 0 {
+				nodes = int(r.Topology)
+			}
 			if err := install(r.FirstTerm, r.Terms); err != nil {
 				return err
 			}
@@ -150,12 +167,12 @@ func OpenDurable(cfg Config, opts wal.Options) (*Engine, error) {
 		return nil, err
 	}
 	epoch := l.Epoch()
-	store := dstore.NewStoreAt(cfg.Nodes, epoch-1)
+	store := dstore.NewStoreAt(nodes, epoch-1)
 	e := &Engine{
 		cfg:   cfg,
 		graph: g,
 		store: store,
-		part:  partition.LoadWithMode(store, g, cfg.Partitioning),
+		part:  partition.LoadWithPolicy(store, g, cfg.Partitioning, cfg.mustPolicy()),
 	}
 	if cfg.PlanCacheSize >= 0 {
 		e.cache = plancache.New[*cacheEntry](cfg.PlanCacheSize)
@@ -214,7 +231,14 @@ func (d *durableState) run() {
 		if !ok {
 			return
 		}
+		if req.reshard != 0 {
+			d.flushReshard(req)
+			continue
+		}
 		group := append(make([]*applyReq, 0, d.opts.GroupMaxOps), req)
+		// A resize encountered while grouping closes the group: it
+		// flushes after the batches that preceded it, alone.
+		var resize *applyReq
 		if d.opts.GroupMaxWait > 0 {
 			timer := time.NewTimer(d.opts.GroupMaxWait)
 		wait:
@@ -222,6 +246,10 @@ func (d *durableState) run() {
 				select {
 				case r, ok := <-d.reqs:
 					if !ok {
+						break wait
+					}
+					if r.reshard != 0 {
+						resize = r
 						break wait
 					}
 					group = append(group, r)
@@ -238,6 +266,10 @@ func (d *durableState) run() {
 					if !ok {
 						break drain
 					}
+					if r.reshard != 0 {
+						resize = r
+						break drain
+					}
 					group = append(group, r)
 				default:
 					break drain
@@ -245,6 +277,9 @@ func (d *durableState) run() {
 			}
 		}
 		d.flushGroup(group)
+		if resize != nil {
+			d.flushReshard(resize)
+		}
 	}
 }
 
@@ -409,6 +444,7 @@ func (d *durableState) checkpoint() error {
 		Epoch:   e.DataVersion(),
 		Terms:   e.graph.Dict.TermsAfter(0),
 		Triples: e.graph.Triples(),
+		Nodes:   uint32(e.part.Current().Nodes()),
 	}
 	e.stateMu.RUnlock()
 	return d.log.WriteCheckpoint(cp, e.part.Watermark())

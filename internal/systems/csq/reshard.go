@@ -1,0 +1,219 @@
+package csq
+
+import (
+	"fmt"
+	"time"
+
+	"cliquesquare/internal/partition"
+	"cliquesquare/internal/wal"
+)
+
+// ReshardResult reports what a completed AddNodes/RemoveNodes did.
+type ReshardResult struct {
+	// From and To are the cluster sizes on either side of the resize.
+	From, To int
+	// Steps is the number of epochs the move-set committed as.
+	Steps int
+	// MovedRows / TotalRows is the data that physically relocated
+	// (MovedFraction precomputes the ratio); an elastic placement keeps
+	// it near the ideal |To-From|/max(From,To), where the paper's
+	// modulo placement reshuffles nearly everything.
+	MovedRows, TotalRows int
+	MovedFraction        float64
+	// MovedCells counts relocated TermID cells (rows × width).
+	MovedCells int
+	// DataVersion is the epoch after the last step; TopologyVersion the
+	// post-resize topology counter (0 at load, +1 per resize).
+	DataVersion     uint64
+	TopologyVersion uint64
+	// Wall is the end-to-end reshard duration as seen by the caller's
+	// request (planning plus every step commit).
+	Wall time.Duration
+}
+
+// Nodes reports the current cluster size (Config.Nodes until the first
+// resize).
+func (e *Engine) Nodes() int { return e.part.Current().Nodes() }
+
+// TopologyVersion reports how many resizes have completed: 0 at load,
+// incremented by every AddNodes/RemoveNodes.
+func (e *Engine) TopologyVersion() uint64 { return e.part.TopologyVersion() }
+
+// AddNodes grows the cluster by k nodes, relocating only the rows whose
+// placement changed. In-flight queries keep serving from their pinned
+// views throughout; each intermediate epoch preserves the co-location
+// invariant, so a query pinned mid-reshard is as correct as one pinned
+// before or after. On a durable engine every step is WAL-logged (as a
+// topology record) before it applies, so a crash mid-reshard recovers
+// to a consistent topology.
+func (e *Engine) AddNodes(k int) (ReshardResult, error) {
+	if k <= 0 {
+		return ReshardResult{}, fmt.Errorf("csq: AddNodes(%d): k must be positive", k)
+	}
+	return e.reshard(k)
+}
+
+// RemoveNodes shrinks the cluster by k nodes (the highest-numbered
+// ones), draining their rows to the survivors first. Semantics
+// otherwise match AddNodes.
+func (e *Engine) RemoveNodes(k int) (ReshardResult, error) {
+	if k <= 0 {
+		return ReshardResult{}, fmt.Errorf("csq: RemoveNodes(%d): k must be positive", k)
+	}
+	return e.reshard(-k)
+}
+
+// reshard resizes the cluster by delta nodes. Non-durable engines hold
+// the state write lock across all steps (readers are unaffected — they
+// never take it); durable engines route the resize through the
+// group-commit batcher so it serializes with writes and WAL-logs each
+// step before applying it.
+func (e *Engine) reshard(delta int) (ReshardResult, error) {
+	if e.closed.Load() {
+		return ReshardResult{}, ErrClosed
+	}
+	if e.dur != nil {
+		return e.dur.reshard(delta)
+	}
+	start := time.Now()
+	e.stateMu.Lock()
+	defer e.stateMu.Unlock()
+	rp, err := e.planResize(delta)
+	if err != nil {
+		return ReshardResult{}, err
+	}
+	fromVer := e.DataVersion()
+	for i := 0; i < rp.Steps(); i++ {
+		if e.closed.Load() {
+			// Close raced the reshard: stop at a step boundary, where
+			// the co-location invariant holds. The engine is closed, so
+			// no caller can observe the partial topology.
+			return ReshardResult{}, ErrClosed
+		}
+		e.part.ApplyStep(rp, i)
+	}
+	e.finishReshard(fromVer)
+	return e.reshardResult(rp, start), nil
+}
+
+// planResize turns a node-count delta into a reshard plan against the
+// current topology.
+func (e *Engine) planResize(delta int) (*partition.ReshardPlan, error) {
+	cur := e.part.Current().Nodes()
+	target := cur + delta
+	if target < 1 {
+		return nil, fmt.Errorf("csq: resize %d%+d leaves no nodes", cur, delta)
+	}
+	return e.part.PlanReshard(target)
+}
+
+// finishReshard is the cache side of a completed resize, mirroring
+// ApplyBatch's commit path. The caller holds stateMu. Result-cache
+// entries of every pre-reshard epoch are unreachable already (their
+// keys embed the version key, which every step moved); the purge
+// reclaims their bytes. Cached plans revalidate on next use because
+// DataVersion moved; their retained statistics carry across the jump
+// unchanged, since moving rows between nodes changes no cardinality.
+func (e *Engine) finishReshard(fromVer uint64) {
+	if e.res != nil {
+		e.res.Purge()
+	}
+	if e.cache != nil {
+		toVer := e.DataVersion()
+		e.cache.Range(func(_ string, ent *cacheEntry) {
+			ent.statsMu.Lock()
+			if ent.stats != nil && ent.statsVersion == fromVer {
+				ent.statsVersion = toVer
+			}
+			ent.statsMu.Unlock()
+		})
+	}
+}
+
+// reshardResult snapshots the outcome of an applied plan.
+func (e *Engine) reshardResult(rp *partition.ReshardPlan, start time.Time) ReshardResult {
+	return ReshardResult{
+		From: rp.OldN, To: rp.NewN,
+		Steps:     rp.Steps(),
+		MovedRows: rp.MovedRows, TotalRows: rp.TotalRows,
+		MovedFraction:   rp.MovedFraction(),
+		MovedCells:      rp.MovedCells,
+		DataVersion:     e.DataVersion(),
+		TopologyVersion: e.part.TopologyVersion(),
+		Wall:            time.Since(start),
+	}
+}
+
+// reshard queues a resize on the durable engine's batcher and waits.
+func (d *durableState) reshard(delta int) (ReshardResult, error) {
+	req := &applyReq{
+		reshard:  delta,
+		resp:     make(chan applyResp, 1),
+		enqueued: time.Now(),
+	}
+	d.qmu.RLock()
+	if d.stopped {
+		d.qmu.RUnlock()
+		return ReshardResult{}, ErrClosed
+	}
+	d.reqs <- req
+	d.qmu.RUnlock()
+	r := <-req.resp
+	return r.shard, r.err
+}
+
+// stepTopology is the cluster size after step i of the plan commits —
+// the value the step's WAL topology record carries. Growing resizes in
+// the first step (new nodes must exist to receive rows); shrinking in
+// the last (dropped nodes are empty only then).
+func stepTopology(rp *partition.ReshardPlan, i int) int {
+	if rp.NewN > rp.OldN || i == rp.Steps()-1 {
+		return rp.NewN
+	}
+	return rp.OldN
+}
+
+// flushReshard executes one queued resize on the batcher goroutine,
+// which is the engine's only writer: planning needs no lock, and writes
+// queued behind the resize wait their turn, exactly like a long group.
+// Each step is WAL-first — a topology record (empty triple delta,
+// Topology = post-step size) is fsynced before the step applies — so a
+// crash at any point recovers to the topology of the last durable
+// record, a consistent placement of the full (unchanged) graph. A WAL
+// failure aborts between steps; the engine keeps serving the last
+// committed epoch, and the log's sticky error fails later writes.
+func (d *durableState) flushReshard(req *applyReq) {
+	e := d.e
+	start := time.Now()
+	rp, err := e.planResize(req.reshard)
+	if err != nil {
+		req.resp <- applyResp{err: err}
+		return
+	}
+	fromVer := e.DataVersion()
+	for i := 0; i < rp.Steps(); i++ {
+		rec := &wal.Record{
+			Epoch:     e.DataVersion() + 1,
+			FirstTerm: d.loggedTerms + 1,
+			Topology:  uint32(stepTopology(rp, i)),
+		}
+		if _, _, err := d.log.Commit(rec); err != nil {
+			req.resp <- applyResp{err: err}
+			return
+		}
+		e.stateMu.Lock()
+		e.part.ApplyStep(rp, i)
+		e.stateMu.Unlock()
+	}
+	e.stateMu.Lock()
+	e.finishReshard(fromVer)
+	e.stateMu.Unlock()
+	req.resp <- applyResp{shard: e.reshardResult(rp, start)}
+
+	if d.log.NeedCheckpoint() {
+		select {
+		case d.ckptCh <- nil:
+		default:
+		}
+	}
+}

@@ -103,6 +103,10 @@ type Checkpoint struct {
 	Epoch   uint64
 	Terms   []rdf.Term
 	Triples []rdf.Triple
+	// Nodes is the cluster size at the checkpoint epoch. 0 means the
+	// checkpoint predates elastic topologies; recovery then falls back
+	// to the engine's configured size.
+	Nodes uint32
 }
 
 // Record is one committed batch: the epoch it created, the dictionary
@@ -115,6 +119,11 @@ type Record struct {
 	Terms     []rdf.Term
 	Inserts   []rdf.Triple
 	Deletes   []rdf.Triple
+	// Topology, when non-zero, marks this record as one reshard step:
+	// after applying the (usually empty) triple delta, the cluster is
+	// sized Topology nodes and rows are re-placed accordingly. Ordinary
+	// batch records leave it 0.
+	Topology uint32
 }
 
 // Stats counts the log's activity since it was opened.
@@ -640,10 +649,10 @@ func (l *Log) Close() error {
 // --- binary encoding ---
 //
 // Record framing:  u32 payloadLen | u32 crc32(payload) | payload
-// Record payload:  u64 epoch | u32 firstTerm | u32 nTerms | terms
+// Record payload:  u64 epoch | u32 topology | u32 firstTerm | u32 nTerms | terms
 //                  | u32 nIns | ins (3×u32 each) | u32 nDel | dels
 // Term:            u8 kind | u32 len | value bytes
-// Checkpoint file: magic | u64 epoch | u32 nTerms | terms
+// Checkpoint file: magic | u64 epoch | u32 nodes | u32 nTerms | terms
 //                  | u32 nTriples | triples | u32 crc(all after magic)
 
 var crcTable = crc32.MakeTable(crc32.Castagnoli)
@@ -674,6 +683,7 @@ func encodeRecord(b []byte, r *Record) []byte {
 	b = putU32(b, 0) // crc, patched below
 	body := len(b)
 	b = putU64(b, r.Epoch)
+	b = putU32(b, r.Topology)
 	b = putU32(b, uint32(r.FirstTerm))
 	b = putU32(b, uint32(len(r.Terms)))
 	for _, t := range r.Terms {
@@ -786,7 +796,7 @@ func decodeRecord(data []byte) (rec *Record, n int, ok bool) {
 		return nil, 0, false
 	}
 	r := &reader{b: payload, ok: true}
-	rec = &Record{Epoch: r.u64(), FirstTerm: rdf.TermID(r.u32())}
+	rec = &Record{Epoch: r.u64(), Topology: r.u32(), FirstTerm: rdf.TermID(r.u32())}
 	rec.Terms = r.terms()
 	rec.Inserts = r.triples()
 	rec.Deletes = r.triples()
@@ -800,6 +810,7 @@ func decodeRecord(data []byte) (rec *Record, n int, ok bool) {
 func encodeCheckpoint(cp *Checkpoint) []byte {
 	b := []byte(ckptMagic)
 	b = putU64(b, cp.Epoch)
+	b = putU32(b, cp.Nodes)
 	b = putU32(b, uint32(len(cp.Terms)))
 	for _, t := range cp.Terms {
 		b = appendTerm(b, t)
@@ -819,7 +830,7 @@ func decodeCheckpoint(data []byte) (*Checkpoint, error) {
 		return nil, errors.New("wal: checkpoint: checksum mismatch")
 	}
 	r := &reader{b: body, ok: true}
-	cp := &Checkpoint{Epoch: r.u64()}
+	cp := &Checkpoint{Epoch: r.u64(), Nodes: r.u32()}
 	cp.Terms = r.terms()
 	cp.Triples = r.triples()
 	if !r.ok || len(r.b) != 0 {
